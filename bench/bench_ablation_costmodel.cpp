@@ -1,0 +1,140 @@
+// Ablation benches for the simulated-device design choices (DESIGN.md):
+//
+//  A. Stage-gap sensitivity — how much of the Table-2 speedup comes from
+//     stage merging (eager per-op overhead) vs branch overlap. Sweeping
+//     the inter-stage gap separates the two mechanisms.
+//  B. Occupancy model — disabling the under-utilization penalty
+//     (compute_efficiency sweep) shows why small-batch efficiency is poor
+//     and why Figure 6 flattens where it does.
+//  C. Weight-residency — charging FC weight reads per launch is what makes
+//     MatMul dominate at batch 1 (Table 3); zeroing weight traffic removes
+//     the effect.
+#include <cstdio>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "detect/sppnet_config.hpp"
+#include "graph/builder.hpp"
+#include "ios/executor.hpp"
+#include "ios/scheduler.hpp"
+#include "profiler/report.hpp"
+#include "simgpu/device.hpp"
+
+namespace {
+
+using namespace dcn;
+
+double optimized_latency(const graph::Graph& g, const simgpu::DeviceSpec& spec,
+                         std::int64_t batch) {
+  ios::IosOptions options;
+  options.batch = batch;
+  const ios::Schedule opt = ios::optimize_schedule(g, spec, options);
+  simgpu::Device device(spec);
+  return ios::measure_latency(g, opt, device, batch);
+}
+
+double sequential_latency(const graph::Graph& g,
+                          const simgpu::DeviceSpec& spec,
+                          std::int64_t batch) {
+  simgpu::Device device(spec);
+  return ios::measure_latency(g, ios::sequential_schedule(g), device, batch);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("bench_ablation_costmodel",
+                 "ablations of the simulated-device mechanisms");
+  flags.add_int("input", 100, "input patch size");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const detect::SppNetConfig model = detect::sppnet_candidate2();
+  const graph::Graph g =
+      graph::build_inference_graph(model, flags.get_int("input"));
+
+  // --- A: stage-gap sweep.
+  std::printf("A. IOS speedup vs eager per-operator gap (batch 1, %s)\n\n",
+              model.name.c_str());
+  TextTable gap_table({"Inter-stage gap (us)", "Sequential", "Optimized",
+                       "Speedup"});
+  for (double gap_us : {0.0, 2.0, 6.0, 12.0, 25.0, 50.0}) {
+    simgpu::DeviceSpec spec = simgpu::a5500_spec();
+    spec.inter_stage_gap = gap_us * 1e-6;
+    const double seq = sequential_latency(g, spec, 1);
+    const double opt = optimized_latency(g, spec, 1);
+    gap_table.add_row({format_double(gap_us, 1), format_ms(seq * 1e3),
+                       format_ms(opt * 1e3),
+                       format_double(seq / opt, 2) + "x"});
+  }
+  std::printf("%s", gap_table.to_string().c_str());
+  std::printf(
+      "\nreading: with zero gap the speedup is pure branch overlap; the "
+      "paper-scale speedup needs the eager frameworks' per-op gap.\n\n");
+
+  // --- B: compute-efficiency sweep (device strength).
+  std::printf("B. Batch-1 vs batch-32 efficiency across device strength\n\n");
+  TextTable eff_table({"Sustained TFLOP/s", "ms/img @1", "ms/img @32",
+                       "Amortization"});
+  for (double eff : {0.15, 0.35, 0.55, 0.75}) {
+    simgpu::DeviceSpec spec = simgpu::a5500_spec();
+    spec.compute_efficiency = eff;
+    const double e1 = optimized_latency(g, spec, 1);
+    const double e32 = optimized_latency(g, spec, 32) / 32.0;
+    eff_table.add_row({format_double(spec.sustained_flops() / 1e12, 1),
+                       format_double(e1 * 1e3, 4),
+                       format_double(e32 * 1e3, 4),
+                       format_double(e1 / e32, 2) + "x"});
+  }
+  std::printf("%s", eff_table.to_string().c_str());
+  std::printf(
+      "\nreading: batch amortization is robust across device strength — the "
+      "Figure-6 shape is not an artifact of one calibration point.\n\n");
+
+  // --- C: weight-residency ablation via kernel-category shares.
+  std::printf("C. Kernel shares at batch 1 with vs without per-launch "
+              "weight reads\n\n");
+  TextTable weight_table(
+      {"Weight traffic", "MatMul %", "Conv %", "Pooling %"});
+  for (bool charge_weights : {true, false}) {
+    simgpu::DeviceSpec spec = simgpu::a5500_spec();
+    ios::IosOptions options;
+    const ios::Schedule opt = ios::optimize_schedule(g, spec, options);
+    profiler::Recorder recorder;
+    simgpu::Device device(spec, &recorder);
+    // Build a kernel table with weight traffic optionally zeroed by
+    // executing through a modified session: emulate by scaling the spec's
+    // DRAM bandwidth to infinity for the weight path is not expressible,
+    // so instead run the stages manually with adjusted descriptors.
+    auto kernels = simgpu::make_kernel_table(g);
+    if (!charge_weights) {
+      for (auto& k : kernels) k.weight_bytes = 0.0;
+    }
+    device.load_library(static_cast<int>(opt.num_kernels()));
+    for (const ios::Stage& stage : opt.stages) {
+      std::vector<std::vector<simgpu::KernelDesc>> groups;
+      for (const ios::Group& group : stage.groups) {
+        std::vector<simgpu::KernelDesc> ks;
+        for (graph::OpId id : group.ops) {
+          ks.push_back(kernels[static_cast<std::size_t>(id)]);
+        }
+        groups.push_back(std::move(ks));
+      }
+      device.run_stage(groups, 1);
+    }
+    device.synchronize();
+    weight_table.add_row(
+        {charge_weights ? "charged per launch (ours)" : "zeroed (ablation)",
+         format_percent(profiler::kernel_share(
+             recorder, profiler::KernelCategory::kMatMul)),
+         format_percent(profiler::kernel_share(
+             recorder, profiler::KernelCategory::kConv)),
+         format_percent(profiler::kernel_share(
+             recorder, profiler::KernelCategory::kPooling))});
+  }
+  std::printf("%s", weight_table.to_string().c_str());
+  std::printf(
+      "\nreading: removing weight traffic erases MatMul's batch-1 dominance "
+      "— the Table-3 crossover depends on FC layers being weight-read "
+      "bound.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Figure 7: GPU memory-operation timing vs batch size.
+//
+// Paper claim: the per-inference memory-operation timing drops as batch
+// grows and stabilizes (≈19168 ns from batch 16 on their A5500), and GPU
+// memory capacity is never the constraint (usage far below 24 GB even at
+// batch 64). On the simulated device the same two observations hold: the
+// per-image H2D time falls to the PCIe-bandwidth floor and flattens, and
+// live device memory stays orders of magnitude under capacity.
+#include <cstdio>
+
+#include "core/cli.hpp"
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "detect/sppnet_config.hpp"
+#include "graph/builder.hpp"
+#include "ios/executor.hpp"
+#include "ios/scheduler.hpp"
+#include "profiler/report.hpp"
+#include "simgpu/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  CliFlags flags("bench_fig7_memops",
+                 "reproduce Figure 7 (memop timing vs batch size)");
+  flags.add_int("input", 100, "input patch size");
+  flags.add_int("iterations", 10, "profiled iterations per batch size");
+  flags.add_string("csv", "fig7.csv", "CSV export path");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto spec = simgpu::a5500_spec();
+  const detect::SppNetConfig model = detect::sppnet_candidate2();
+  const graph::Graph g =
+      graph::build_inference_graph(model, flags.get_int("input"));
+  std::printf(
+      "Figure 7 — GPU memory operation timing vs batch size (%s)\n"
+      "(paper: stabilizes at 19168 ns from batch 16; ours stabilizes at "
+      "the simulated PCIe floor)\n\n",
+      model.name.c_str());
+
+  TextTable table({"Batch", "Memops", "Mean memop (ns)",
+                   "Per-image memop (ns)", "Live device memory (MiB)"});
+  CsvWriter csv({"batch", "memop_count", "mean_memop_ns",
+                 "per_image_memop_ns", "total_memop_us", "live_bytes"});
+
+  for (std::int64_t batch : {1, 2, 4, 8, 16, 32, 64}) {
+    ios::IosOptions options;
+    options.batch = batch;
+    const ios::Schedule schedule = ios::optimize_schedule(g, spec, options);
+    profiler::Recorder recorder;
+    simgpu::Device device(spec, &recorder);
+    ios::InferenceSession session(g, schedule, device);
+    session.initialize();
+    recorder.clear();  // exclude the one-time weight upload
+    const int iterations = static_cast<int>(flags.get_int("iterations"));
+    for (int i = 0; i < iterations; ++i) (void)session.run(batch);
+
+    const profiler::MemopSummary memops = profiler::memop_summary(recorder);
+    const double per_image_ns = memops.total_seconds * 1e9 /
+                                (static_cast<double>(batch) * iterations);
+    table.add_row(
+        {std::to_string(batch), std::to_string(memops.count),
+         format_double(memops.mean_seconds * 1e9, 0),
+         format_double(per_image_ns, 0),
+         format_double(device.memory().live_bytes() / 1048576.0, 1)});
+    csv.add_row({std::to_string(batch), std::to_string(memops.count),
+                 format_double(memops.mean_seconds * 1e9, 1),
+                 format_double(per_image_ns, 1),
+                 format_double(memops.total_seconds * 1e6, 2),
+                 std::to_string(device.memory().live_bytes())});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nmemory is not the constraint: live usage stays far below the "
+      "%.0f GiB capacity at every batch size, as the paper observes.\n",
+      spec.dram_bytes / 1073741824.0);
+  csv.write(flags.get_string("csv"));
+  std::printf("CSV written to %s\n", flags.get_string("csv").c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Micro benchmarks: the blocked SGEMM vs the reference triple loop, at the
+// shapes the SPP-Net workload actually hits (im2col GEMMs and FC layers).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "tensor/gemm.hpp"
+
+namespace {
+
+using namespace dcn;
+
+std::vector<float> random_matrix(std::int64_t n, Rng& rng) {
+  std::vector<float> m(static_cast<std::size_t>(n));
+  for (auto& v : m) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t n = state.range(1);
+  const std::int64_t k = state.range(2);
+  Rng rng(1);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    matmul(false, false, m, n, k, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * m * n * k, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+void BM_GemmReference(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t n = state.range(1);
+  const std::int64_t k = state.range(2);
+  Rng rng(1);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    sgemm_reference(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n,
+                    0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * m * n * k, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+// conv1 im2col GEMM at 100x100: 64 x (4*3*3=36) x 10000.
+// conv3 im2col GEMM at 25x25: 256 x 1152 x 625.
+// SPP-Net #2 FC: 1 x 7680 -> 4096 (as 4096 x 7680 weight times vector).
+BENCHMARK(BM_GemmBlocked)
+    ->Args({64, 10000, 36})
+    ->Args({256, 625, 1152})
+    ->Args({4096, 1, 7680})
+    ->Args({256, 256, 256})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_GemmReference)
+    ->Args({256, 256, 256})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GemmTransposedB(benchmark::State& state) {
+  // The Linear layer's x * W^T pattern.
+  const std::int64_t batch = state.range(0);
+  const std::int64_t in = 7680;
+  const std::int64_t out = 4096;
+  Rng rng(1);
+  const auto x = random_matrix(batch * in, rng);
+  const auto w = random_matrix(out * in, rng);
+  std::vector<float> y(static_cast<std::size_t>(batch * out));
+  for (auto _ : state) {
+    matmul(false, true, batch, out, in, x.data(), w.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * batch * out * in, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+BENCHMARK(BM_GemmTransposedB)->Arg(1)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,65 @@
+// nsys-style profiling of CNN inference on the simulated GPU (§7).
+//
+// Equivalent of `nsys profile --stats=true python IOS_Model.py`: runs a
+// measurement loop of IOS-scheduled inferences at the chosen batch size on
+// the simulated RTX A5500 and prints the three statistics views (CUDA API
+// usage, kernel categories, memory operations).
+#include <cstdio>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "detect/sppnet_config.hpp"
+#include "graph/builder.hpp"
+#include "ios/executor.hpp"
+#include "ios/scheduler.hpp"
+#include "profiler/report.hpp"
+#include "simgpu/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  CliFlags flags("profile_inference", "nsys-like profile of SPP-Net inference");
+  flags.add_int("batch", 1, "inference batch size");
+  flags.add_int("iterations", 10, "profiled inference iterations");
+  flags.add_string("model", "spp2",
+                   "model: original | spp1 | spp2 | spp3 | <notation>");
+  flags.add_int("input", 100, "input patch size");
+  flags.add_bool("sequential", false, "profile the sequential schedule");
+  if (!flags.parse(argc, argv)) return 0;
+
+  detect::SppNetConfig config;
+  const std::string name = flags.get_string("model");
+  if (name == "original") config = detect::original_sppnet();
+  else if (name == "spp1") config = detect::sppnet_candidate1();
+  else if (name == "spp2") config = detect::sppnet_candidate2();
+  else if (name == "spp3") config = detect::sppnet_candidate3();
+  else config = detect::parse_notation(name);
+
+  const graph::Graph g =
+      graph::build_inference_graph(config, flags.get_int("input"));
+  const auto spec = simgpu::a5500_spec();
+  const ios::Schedule schedule = flags.get_bool("sequential")
+                                     ? ios::sequential_schedule(g)
+                                     : ios::optimize_schedule(g, spec);
+  std::printf("model: %s\nschedule (%zu stages, width %zu):\n%s\n",
+              config.to_notation().c_str(), schedule.num_stages(),
+              schedule.max_concurrency(), schedule.to_string(g).c_str());
+
+  profiler::Recorder recorder;
+  simgpu::Device device(spec, &recorder);
+  ios::InferenceSession session(g, schedule, device);
+  session.initialize();
+  const std::int64_t batch = flags.get_int("batch");
+  double last_latency = 0.0;
+  for (int i = 0; i < flags.get_int("iterations"); ++i) {
+    last_latency = session.run(batch).latency_seconds;
+  }
+  std::printf("device: %s\nbatch %lld: %s per inference, %s per image\n",
+              spec.name.c_str(), static_cast<long long>(batch),
+              format_ms(last_latency * 1e3).c_str(),
+              format_ms(last_latency * 1e3 / batch, 4).c_str());
+  std::printf("device memory: %.1f MiB live of %.0f GiB\n\n",
+              device.memory().live_bytes() / 1048576.0,
+              spec.dram_bytes / 1073741824.0);
+  std::printf("%s", profiler::render_report(recorder).c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Inspect inference graphs, blocks, and IOS schedules for the Table-1
+// models: the graph dump, the extracted branched blocks, the sequential
+// baseline, the DP-optimized schedule, and their modeled costs.
+#include <cstdio>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "detect/sppnet_config.hpp"
+#include "graph/blocks.hpp"
+#include "graph/builder.hpp"
+#include "ios/executor.hpp"
+#include "ios/gantt.hpp"
+#include "ios/scheduler.hpp"
+#include "simgpu/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  CliFlags flags("schedule_explorer", "inspect IOS schedules per model");
+  flags.add_int("input", 100, "input patch size");
+  flags.add_int("batch", 1, "batch size the schedule is optimized for");
+  flags.add_bool("dot", false, "print graphviz dot of the first graph");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto spec = simgpu::a5500_spec();
+  const std::int64_t batch = flags.get_int("batch");
+  bool printed_dot = false;
+
+  for (const detect::SppNetConfig& config : detect::table1_models()) {
+    const graph::Graph g =
+        graph::build_inference_graph(config, flags.get_int("input"));
+    std::printf("=== %s ===\n%s\n", config.name.c_str(),
+                config.to_notation().c_str());
+    std::printf("%s", g.to_string().c_str());
+    if (flags.get_bool("dot") && !printed_dot) {
+      std::printf("\n%s\n", g.to_dot().c_str());
+      printed_dot = true;
+    }
+
+    const auto blocks = graph::extract_blocks(g);
+    std::printf("\nblocks: %zu", blocks.size());
+    for (const auto& block : blocks) {
+      if (block.branched) {
+        std::printf(" [branched: %zu ops, %zu branches]", block.ops.size(),
+                    graph::block_branches(g, block).size());
+      }
+    }
+    std::printf("\n\n");
+
+    ios::IosOptions options;
+    options.batch = batch;
+    const ios::Schedule seq = ios::sequential_schedule(g);
+    const ios::Schedule opt = ios::optimize_schedule(g, spec, options);
+    std::printf("optimized schedule:\n%s\n", opt.to_string(g).c_str());
+    std::printf("%s\n", ios::render_gantt(g, spec, opt).c_str());
+
+    simgpu::Device d_seq(spec);
+    simgpu::Device d_opt(spec);
+    const double t_seq = ios::measure_latency(g, seq, d_seq, batch);
+    const double t_opt = ios::measure_latency(g, opt, d_opt, batch);
+    TextTable table({"Schedule", "Stages", "Modeled cost", "Measured latency"});
+    table.add_row({"sequential", std::to_string(seq.num_stages()),
+                   format_ms(ios::schedule_cost(g, spec, seq, batch) * 1e3),
+                   format_ms(t_seq * 1e3)});
+    table.add_row({"IOS", std::to_string(opt.num_stages()),
+                   format_ms(ios::schedule_cost(g, spec, opt, batch) * 1e3),
+                   format_ms(t_opt * 1e3)});
+    std::printf("%s", table.to_string().c_str());
+    std::printf("speedup: %.2fx\n\n", t_seq / t_opt);
+  }
+  return 0;
+}

@@ -1,0 +1,187 @@
+#include "core/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dcn {
+namespace {
+
+std::int64_t parse_int(const std::string& name, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + name + " expects an integer, got '" + value +
+                      "'");
+  }
+}
+
+double parse_double(const std::string& name, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + name + " expects a number, got '" + value +
+                      "'");
+  }
+}
+
+bool parse_bool(const std::string& name, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  throw ConfigError("flag --" + name + " expects a boolean, got '" + value +
+                    "'");
+}
+
+}  // namespace
+
+CliFlags::CliFlags(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliFlags::add_int(const std::string& name, std::int64_t default_value,
+                       const std::string& help) {
+  DCN_CHECK(!flags_.count(name)) << "duplicate flag --" << name;
+  Flag f;
+  f.kind = Kind::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+void CliFlags::add_double(const std::string& name, double default_value,
+                          const std::string& help) {
+  DCN_CHECK(!flags_.count(name)) << "duplicate flag --" << name;
+  Flag f;
+  f.kind = Kind::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+void CliFlags::add_string(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  DCN_CHECK(!flags_.count(name)) << "duplicate flag --" << name;
+  Flag f;
+  f.kind = Kind::kString;
+  f.help = help;
+  f.string_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+void CliFlags::add_bool(const std::string& name, bool default_value,
+                        const std::string& help) {
+  DCN_CHECK(!flags_.count(name)) << "duplicate flag --" << name;
+  Flag f;
+  f.kind = Kind::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+void CliFlags::set_value(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) throw ConfigError("unknown flag --" + name);
+  Flag& f = it->second;
+  switch (f.kind) {
+    case Kind::kInt:
+      f.int_value = parse_int(name, value);
+      break;
+    case Kind::kDouble:
+      f.double_value = parse_double(name, value);
+      break;
+    case Kind::kString:
+      f.string_value = value;
+      break;
+    case Kind::kBool:
+      f.bool_value = parse_bool(name, value);
+      break;
+  }
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      set_value(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) throw ConfigError("unknown flag --" + arg);
+    if (it->second.kind == Kind::kBool) {
+      it->second.bool_value = true;
+      continue;
+    }
+    DCN_CHECK(i + 1 < argc) << "flag --" << arg << " expects a value";
+    set_value(arg, argv[++i]);
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::flag(const std::string& name,
+                                     Kind kind) const {
+  auto it = flags_.find(name);
+  DCN_CHECK(it != flags_.end()) << "flag --" << name << " was never declared";
+  DCN_CHECK(it->second.kind == kind) << "flag --" << name << " type mismatch";
+  return it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return flag(name, Kind::kInt).int_value;
+}
+double CliFlags::get_double(const std::string& name) const {
+  return flag(name, Kind::kDouble).double_value;
+}
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return flag(name, Kind::kString).string_value;
+}
+bool CliFlags::get_bool(const std::string& name) const {
+  return flag(name, Kind::kBool).bool_value;
+}
+
+std::string CliFlags::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name;
+    switch (f.kind) {
+      case Kind::kInt:
+        os << "=<int> (default " << f.int_value << ")";
+        break;
+      case Kind::kDouble:
+        os << "=<num> (default " << f.double_value << ")";
+        break;
+      case Kind::kString:
+        os << "=<str> (default '" << f.string_value << "')";
+        break;
+      case Kind::kBool:
+        os << " (default " << (f.bool_value ? "true" : "false") << ")";
+        break;
+    }
+    os << "\n      " << f.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dcn

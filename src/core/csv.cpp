@@ -1,0 +1,55 @@
+#include "core/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dcn {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DCN_CHECK(!header_.empty()) << "CSV needs at least one column";
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  DCN_CHECK(row.size() == header_.size())
+      << "CSV row arity " << row.size() << " != header " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  DCN_CHECK(out.good()) << "cannot open " << path << " for writing";
+  out << to_string();
+  DCN_CHECK(out.good()) << "write to " << path << " failed";
+}
+
+}  // namespace dcn

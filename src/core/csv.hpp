@@ -1,0 +1,34 @@
+// Minimal CSV writer used by benches to export figure series.
+//
+// Figures 6-8 of the paper are line/bar charts; each bench writes the series
+// as CSV next to the printed table so plots can be regenerated offline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dcn {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (quotes fields that
+/// contain commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Serialize the whole document (header + rows).
+  std::string to_string() const;
+
+  /// Write to `path`; throws dcn::Error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a single CSV field if needed.
+std::string csv_escape(const std::string& field);
+
+}  // namespace dcn

@@ -1,0 +1,80 @@
+// Error handling primitives shared by every module.
+//
+// The library throws dcn::Error for all recoverable failures (bad shapes,
+// invalid configuration strings, out-of-range arguments). DCN_CHECK is used
+// at public API boundaries; DCN_DCHECK compiles out in release builds and
+// guards internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dcn {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when tensor shapes or layer configurations are inconsistent.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a user-supplied configuration value is invalid.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+// Stream-accumulating helper so DCN_CHECK(x) << "context" works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    throw_check_failure(expr_, file_, line_, os_.str());
+  }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace dcn
+
+/// Always-on invariant check. Usage: DCN_CHECK(cond) << "context " << value;
+#define DCN_CHECK(cond)                                       \
+  if (cond) {                                                 \
+  } else                                                      \
+    ::dcn::detail::CheckMessage(#cond, __FILE__, __LINE__)
+
+#ifndef NDEBUG
+#define DCN_DCHECK(cond) DCN_CHECK(cond)
+#else
+#define DCN_DCHECK(cond) \
+  if (true) {            \
+  } else                 \
+    ::dcn::detail::CheckMessage(#cond, __FILE__, __LINE__)
+#endif

@@ -1,0 +1,42 @@
+#include "core/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace dcn {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%8.2fs %s] %s\n", elapsed_seconds(), tag(level),
+               message.c_str());
+}
+
+}  // namespace dcn

@@ -1,0 +1,45 @@
+// Leveled logging to stderr.
+//
+// Benches and examples narrate long-running phases (dataset synthesis,
+// training epochs, NAS trials) through this logger so output stays uniform
+// and can be silenced with set_log_level(LogLevel::kWarn).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dcn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` (adds level tag and elapsed-time prefix).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace dcn
+
+#define DCN_LOG_DEBUG ::dcn::detail::LogLine(::dcn::LogLevel::kDebug)
+#define DCN_LOG_INFO ::dcn::detail::LogLine(::dcn::LogLevel::kInfo)
+#define DCN_LOG_WARN ::dcn::detail::LogLine(::dcn::LogLevel::kWarn)
+#define DCN_LOG_ERROR ::dcn::detail::LogLine(::dcn::LogLevel::kError)

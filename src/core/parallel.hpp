@@ -1,0 +1,36 @@
+// Shared-memory parallel loop helpers.
+//
+// All data-parallel loops in the library funnel through parallel_for so the
+// threading backend (OpenMP when available, serial otherwise) is chosen in
+// one place. Grain-size control avoids spawning parallel regions for tiny
+// trip counts, which matters for the many small tensors in SPP branches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace dcn {
+
+/// Number of worker threads the backend will use (1 when OpenMP is absent).
+int hardware_threads();
+
+/// Set the number of threads used by subsequent parallel_for calls.
+/// Values < 1 reset to the hardware default.
+void set_num_threads(int n);
+
+/// Run fn(i) for i in [begin, end). Executes in parallel when the trip count
+/// is at least `grain`, serially otherwise. fn must be safe to invoke
+/// concurrently for distinct i.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t grain = 64);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) over a partition of
+/// [begin, end). Lower overhead than the per-index form for tight loops.
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    std::int64_t grain = 1024);
+
+}  // namespace dcn

@@ -1,0 +1,37 @@
+// Plain-text table formatting for bench harness output.
+//
+// Every bench binary reports paper-style tables (Tables 1-3, the series
+// behind Figures 6-8). TextTable renders aligned ASCII tables; cells are
+// strings so callers control numeric formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dcn {
+
+/// Column-aligned ASCII table with a header row and separator rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Render the table with 2-space column gaps and an underline rule.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used across bench binaries.
+std::string format_double(double v, int precision);
+std::string format_percent(double fraction, int precision = 1);
+std::string format_ms(double milliseconds, int precision = 3);
+
+}  // namespace dcn

@@ -1,0 +1,31 @@
+// Wall-clock timing helper for host-side measurements.
+//
+// Note: the paper's latency numbers are reproduced on the *virtual* clock of
+// src/simgpu, not this wall timer; WallTimer is for progress reporting and
+// the google-benchmark micro benches.
+#pragma once
+
+#include <chrono>
+
+namespace dcn {
+
+/// Monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dcn

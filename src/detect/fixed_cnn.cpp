@@ -1,0 +1,73 @@
+#include "detect/fixed_cnn.hpp"
+
+#include "core/error.hpp"
+#include "detect/imageops.hpp"
+#include "detect/sppnet.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+
+namespace dcn::detect {
+
+FixedInputCnn::FixedInputCnn(SppNetConfig config, std::int64_t input_size,
+                             Rng& rng)
+    : config_(std::move(config)), input_size_(input_size) {
+  DCN_CHECK(input_size >= 16) << "fixed input size too small";
+  std::int64_t channels = config_.in_channels;
+  for (const TrunkStage& stage : config_.trunk) {
+    if (stage.kind == TrunkStage::Kind::kConv) {
+      net_.emplace<Conv2d>(channels, stage.conv.filters, stage.conv.kernel,
+                           stage.conv.stride, rng);
+      net_.emplace<ReLU>();
+      channels = stage.conv.filters;
+    } else {
+      net_.emplace<MaxPool2d>(stage.pool.kernel, stage.pool.stride);
+    }
+  }
+  const std::int64_t out_size = config_.trunk_out_size(input_size);
+  DCN_CHECK(out_size > 0) << "trunk collapses " << input_size << " to zero";
+  net_.emplace<Flatten>();
+  std::int64_t features = channels * out_size * out_size;
+  for (std::int64_t fc : config_.fc_sizes) {
+    net_.emplace<Linear>(features, fc, rng);
+    net_.emplace<ReLU>();
+    features = fc;
+  }
+  Linear& final = net_.emplace<Linear>(features, config_.head_outputs, rng);
+  init_detection_head(final);
+}
+
+Tensor FixedInputCnn::forward(const Tensor& input) {
+  DCN_CHECK(input.rank() == 4) << "FixedInputCnn expects NCHW";
+  if (input.dim(2) == input_size_ && input.dim(3) == input_size_) {
+    return net_.forward(input);
+  }
+  // Warp each sample to the fixed resolution (inference-time escape hatch).
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  Tensor warped(Shape{n, c, input_size_, input_size_});
+  const std::int64_t src_stride = c * input.dim(2) * input.dim(3);
+  const std::int64_t dst_stride = c * input_size_ * input_size_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor sample(Shape{c, input.dim(2), input.dim(3)});
+    std::copy(input.data() + i * src_stride,
+              input.data() + (i + 1) * src_stride, sample.data());
+    const Tensor resized = bilinear_resize(sample, input_size_, input_size_);
+    std::copy(resized.data(), resized.data() + dst_stride,
+              warped.data() + i * dst_stride);
+  }
+  return net_.forward(warped);
+}
+
+Tensor FixedInputCnn::backward(const Tensor& grad_output) {
+  return net_.backward(grad_output);
+}
+
+std::vector<ParamRef> FixedInputCnn::parameters() { return net_.parameters(); }
+
+void FixedInputCnn::set_training(bool training) {
+  Module::set_training(training);
+  net_.set_training(training);
+}
+
+}  // namespace dcn::detect

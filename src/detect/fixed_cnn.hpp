@@ -1,0 +1,43 @@
+// Fixed-input CNN baseline.
+//
+// Identical trunk and head to SPP-Net but with plain flattening instead of
+// spatial pyramid pooling, so the FC input size is bound to one training
+// resolution. Inputs of any other size must be warped (bilinear) to fit —
+// exactly the crop/warp compromise §2.2 of the paper argues SPP removes.
+#pragma once
+
+#include "detect/sppnet_config.hpp"
+#include "nn/activations.hpp"
+#include "nn/module.hpp"
+#include "nn/sequential.hpp"
+
+namespace dcn {
+class Rng;
+}
+
+namespace dcn::detect {
+
+class FixedInputCnn : public Module {
+ public:
+  /// `config` supplies the trunk and FC widths; spp_levels are ignored.
+  /// `input_size` fixes the expected square input resolution.
+  FixedInputCnn(SppNetConfig config, std::int64_t input_size, Rng& rng);
+
+  /// Inputs whose spatial size differs from input_size are warped per
+  /// sample before the trunk (warping is not differentiated; training data
+  /// should already be at input_size).
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  std::string name() const override { return "FixedInputCnn"; }
+  void set_training(bool training) override;
+
+  std::int64_t input_size() const { return input_size_; }
+
+ private:
+  SppNetConfig config_;
+  std::int64_t input_size_;
+  Sequential net_;  // trunk + Flatten + FC head
+};
+
+}  // namespace dcn::detect

@@ -1,0 +1,92 @@
+#include "detect/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dcn::detect {
+
+float box_iou(const std::array<float, 4>& a, const std::array<float, 4>& b) {
+  const float ax0 = a[0] - a[2] / 2, ax1 = a[0] + a[2] / 2;
+  const float ay0 = a[1] - a[3] / 2, ay1 = a[1] + a[3] / 2;
+  const float bx0 = b[0] - b[2] / 2, bx1 = b[0] + b[2] / 2;
+  const float by0 = b[1] - b[3] / 2, by1 = b[1] + b[3] / 2;
+  const float ix = std::max(0.0f, std::min(ax1, bx1) - std::max(ax0, bx0));
+  const float iy = std::max(0.0f, std::min(ay1, by1) - std::max(ay0, by0));
+  const float inter = ix * iy;
+  const float area_a = std::max(0.0f, ax1 - ax0) * std::max(0.0f, ay1 - ay0);
+  const float area_b = std::max(0.0f, bx1 - bx0) * std::max(0.0f, by1 - by0);
+  const float uni = area_a + area_b - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+std::vector<PrPoint> precision_recall_curve(
+    std::vector<ScoredDetection> detections, float iou_threshold) {
+  std::sort(detections.begin(), detections.end(),
+            [](const ScoredDetection& a, const ScoredDetection& b) {
+              return a.confidence > b.confidence;
+            });
+  std::int64_t total_positives = 0;
+  for (const auto& d : detections) total_positives += d.has_object ? 1 : 0;
+
+  std::vector<PrPoint> curve;
+  std::int64_t tp = 0;
+  std::int64_t fp = 0;
+  for (const auto& d : detections) {
+    const bool is_tp = d.has_object && d.iou >= iou_threshold;
+    if (is_tp) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    PrPoint point;
+    point.threshold = d.confidence;
+    point.precision = static_cast<float>(tp) / static_cast<float>(tp + fp);
+    point.recall = total_positives > 0
+                       ? static_cast<float>(tp) /
+                             static_cast<float>(total_positives)
+                       : 0.0f;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double average_precision(const std::vector<ScoredDetection>& detections,
+                         float iou_threshold) {
+  const auto curve = precision_recall_curve(detections, iou_threshold);
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (const PrPoint& p : curve) {
+    ap += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  return ap;
+}
+
+double accuracy_at_threshold(const std::vector<ScoredDetection>& detections,
+                             float threshold) {
+  DCN_CHECK(!detections.empty()) << "accuracy over empty detections";
+  std::int64_t correct = 0;
+  for (const auto& d : detections) {
+    const bool predicted_object = d.confidence >= threshold;
+    if (predicted_object == d.has_object) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(detections.size());
+}
+
+double mean_iou_of_detections(const std::vector<ScoredDetection>& detections,
+                              float threshold) {
+  double total = 0.0;
+  std::int64_t count = 0;
+  for (const auto& d : detections) {
+    if (d.has_object && d.confidence >= threshold) {
+      total += d.iou;
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace dcn::detect

@@ -1,0 +1,51 @@
+// Detection metrics: IoU, precision/recall sweep, and the paper's average
+// precision (Equation 1), plus accuracy / mean-IoU used for the baseline
+// comparison of §8.1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dcn::detect {
+
+/// One scored detection matched against ground truth.
+struct ScoredDetection {
+  float confidence = 0.0f;
+  /// Whether the image actually contains an object.
+  bool has_object = false;
+  /// IoU between the predicted and ground-truth box (0 when !has_object).
+  float iou = 0.0f;
+};
+
+/// Intersection-over-union of two (cx, cy, w, h) boxes.
+float box_iou(const std::array<float, 4>& a, const std::array<float, 4>& b);
+
+/// One point of the precision-recall curve.
+struct PrPoint {
+  float threshold = 0.0f;
+  float precision = 0.0f;
+  float recall = 0.0f;
+};
+
+/// Sweep confidence thresholds (one per unique detection score, descending)
+/// counting a detection as true positive iff has_object && iou >= iou_threshold.
+std::vector<PrPoint> precision_recall_curve(
+    std::vector<ScoredDetection> detections, float iou_threshold = 0.5f);
+
+/// Equation 1: AP = sum_i (recall_i - recall_{i-1}) * precision_i over the
+/// descending-confidence sweep.
+double average_precision(const std::vector<ScoredDetection>& detections,
+                         float iou_threshold = 0.5f);
+
+/// Classification accuracy at a fixed confidence threshold (a detection on a
+/// negative image counts as a false positive; localization is ignored).
+double accuracy_at_threshold(const std::vector<ScoredDetection>& detections,
+                             float threshold);
+
+/// Mean IoU over detections above `threshold` on images with objects
+/// (the §8.1 comparison metric; 0 when there are none).
+double mean_iou_of_detections(const std::vector<ScoredDetection>& detections,
+                              float threshold);
+
+}  // namespace dcn::detect

@@ -1,0 +1,53 @@
+// Two-stage region-proposal baseline ("R-CNN lite").
+//
+// Stands in for the Faster R-CNN reference of §8.1: stage one proposes
+// candidate regions from a class-agnostic spectral heuristic (co-located
+// road-gray and dark-NIR water responses); stage two scores each
+// variable-size proposal crop with a trained SPP-Net — showcasing SPP's
+// arbitrary-input-size property the way R-CNN scores warped proposals.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "detect/sppnet.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dcn::detect {
+
+struct Proposal {
+  std::array<float, 4> box{};  // (cx, cy, w, h) normalized
+  float objectness = 0.0f;     // heuristic score
+};
+
+struct ProposalConfig {
+  /// Proposal window side as a fraction of the patch side.
+  double window_fraction = 0.22;
+  /// Non-maximum-suppression radius as a fraction of the patch side.
+  double nms_radius = 0.18;
+  /// Maximum proposals returned per image.
+  int max_proposals = 8;
+};
+
+/// Stage one: propose regions in a [4, H, W] patch.
+std::vector<Proposal> propose_regions(const Tensor& image,
+                                      const ProposalConfig& config);
+
+/// Two-stage detector: proposals scored by an SPP-Net.
+class RcnnLiteDetector {
+ public:
+  RcnnLiteDetector(SppNet& scorer, ProposalConfig config)
+      : scorer_(&scorer), config_(config) {}
+
+  /// Best detection for one [4, H, W] image: the proposal with the highest
+  /// rescored confidence (confidence 0 if no proposals).
+  Prediction detect(const Tensor& image);
+
+  const ProposalConfig& config() const { return config_; }
+
+ private:
+  SppNet* scorer_;
+  ProposalConfig config_;
+};
+
+}  // namespace dcn::detect

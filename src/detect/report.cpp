@@ -1,0 +1,82 @@
+#include "detect/report.hpp"
+
+#include <sstream>
+
+#include "core/csv.hpp"
+#include "core/table.hpp"
+
+namespace dcn::detect {
+
+double ConfusionSummary::precision() const {
+  const std::int64_t denom = true_positives + false_positives;
+  return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;
+}
+
+double ConfusionSummary::recall() const {
+  const std::int64_t denom = true_positives + false_negatives;
+  return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;
+}
+
+double ConfusionSummary::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+ConfusionSummary confusion_at_threshold(
+    const std::vector<ScoredDetection>& detections, float threshold,
+    float iou_threshold) {
+  ConfusionSummary summary;
+  for (const ScoredDetection& d : detections) {
+    const bool fired = d.confidence >= threshold;
+    if (d.has_object) {
+      if (fired && d.iou >= iou_threshold) {
+        ++summary.true_positives;
+      } else {
+        ++summary.false_negatives;
+      }
+    } else {
+      if (fired) {
+        ++summary.false_positives;
+      } else {
+        ++summary.true_negatives;
+      }
+    }
+  }
+  return summary;
+}
+
+std::string pr_curve_csv(const std::vector<ScoredDetection>& detections,
+                         float iou_threshold) {
+  CsvWriter csv({"threshold", "precision", "recall"});
+  for (const PrPoint& point :
+       precision_recall_curve(detections, iou_threshold)) {
+    csv.add_row({format_double(point.threshold, 6),
+                 format_double(point.precision, 6),
+                 format_double(point.recall, 6)});
+  }
+  return csv.to_string();
+}
+
+std::string evaluation_report(const std::vector<ScoredDetection>& detections,
+                              float threshold, float iou_threshold) {
+  const ConfusionSummary c =
+      confusion_at_threshold(detections, threshold, iou_threshold);
+  std::ostringstream os;
+  os << "evaluation over " << detections.size() << " images (threshold "
+     << format_double(threshold, 2) << ", IoU >= "
+     << format_double(iou_threshold, 2) << ")\n";
+  TextTable table({"", "pred +", "pred -"});
+  table.add_row({"gt +", std::to_string(c.true_positives),
+                 std::to_string(c.false_negatives)});
+  table.add_row({"gt -", std::to_string(c.false_positives),
+                 std::to_string(c.true_negatives)});
+  os << table.to_string();
+  os << "AP " << format_percent(average_precision(detections, iou_threshold))
+     << ", precision " << format_percent(c.precision()) << ", recall "
+     << format_percent(c.recall()) << ", F1 " << format_percent(c.f1())
+     << '\n';
+  return os.str();
+}
+
+}  // namespace dcn::detect

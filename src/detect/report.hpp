@@ -1,0 +1,45 @@
+// Evaluation reporting: confusion summary and precision-recall export.
+//
+// Rounds out the trainer's EvalResult with the artifacts a model card
+// needs: a thresholded confusion matrix, the PR curve as CSV (the data
+// behind an AP number), and a compact text report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/metrics.hpp"
+
+namespace dcn::detect {
+
+struct ConfusionSummary {
+  std::int64_t true_positives = 0;
+  std::int64_t false_positives = 0;
+  std::int64_t true_negatives = 0;
+  std::int64_t false_negatives = 0;
+
+  std::int64_t total() const {
+    return true_positives + false_positives + true_negatives +
+           false_negatives;
+  }
+  double precision() const;
+  double recall() const;
+  double f1() const;
+};
+
+/// Confusion counts at `threshold` with localization requirement
+/// iou >= iou_threshold for a true positive.
+ConfusionSummary confusion_at_threshold(
+    const std::vector<ScoredDetection>& detections, float threshold,
+    float iou_threshold = 0.5f);
+
+/// CSV of the PR curve ("threshold,precision,recall" rows).
+std::string pr_curve_csv(const std::vector<ScoredDetection>& detections,
+                         float iou_threshold = 0.5f);
+
+/// Multi-line human-readable evaluation report.
+std::string evaluation_report(const std::vector<ScoredDetection>& detections,
+                              float threshold = 0.5f,
+                              float iou_threshold = 0.5f);
+
+}  // namespace dcn::detect

@@ -1,0 +1,59 @@
+// The SPP-Net drainage-crossing detector.
+//
+// Feature trunk (conv+ReLU / max-pool stages) -> spatial pyramid pooling ->
+// fully-connected stack -> 5-way head [objectness logit | cx cy w h].
+// Thanks to SPP, the same weights accept any input spatial size at
+// inference; training uses the fixed 100x100 patches like the paper.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "detect/sppnet_config.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "nn/sequential.hpp"
+#include "nn/spp.hpp"
+
+namespace dcn {
+class Rng;
+}
+
+namespace dcn::detect {
+
+/// One decoded prediction for an input image.
+struct Prediction {
+  float confidence = 0.0f;           // sigmoid(objectness logit)
+  std::array<float, 4> box{};        // (cx, cy, w, h), normalized
+};
+
+/// Detection-head initialization (small final weights, prior-box bias);
+/// shared by SppNet and the fixed-input baseline.
+void init_detection_head(Linear& final_layer);
+
+class SppNet : public Module {
+ public:
+  SppNet(SppNetConfig config, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;   // [N,C,H,W] -> [N,5]
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  std::string name() const override { return "SppNet"; }
+  void set_training(bool training) override;
+
+  const SppNetConfig& config() const { return config_; }
+
+  /// Decode raw head outputs [N, 5] into per-image predictions.
+  static std::vector<Prediction> decode(const Tensor& head_out);
+
+  /// Forward + decode in eval mode (restores prior training flag).
+  std::vector<Prediction> predict(const Tensor& input);
+
+ private:
+  SppNetConfig config_;
+  Sequential trunk_;
+  SpatialPyramidPool spp_;
+  Sequential head_;
+};
+
+}  // namespace dcn::detect

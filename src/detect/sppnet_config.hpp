@@ -1,0 +1,74 @@
+// SPP-Net architecture configuration and the paper's hyper-parameter
+// string notation.
+//
+// Table 1 describes models as e.g.
+//   C_{64,3,1}-P_{2,2}-C_{128,3,1}-P_{2,2}-C_{256,3,1}-P_{2,2}-SPP_{4,2,1}-F_{1024}
+// where C = convolution (filters, kernel, stride), P = max pool
+// (kernel, stride), SPP = pyramid levels, F = fully-connected width.
+// SppNetConfig is the structured form; parse/format round-trips the paper
+// notation so Table-1 rows are the literal configuration source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcn::detect {
+
+struct ConvSpec {
+  std::int64_t filters = 0;
+  std::int64_t kernel = 0;
+  std::int64_t stride = 1;
+};
+
+struct PoolSpec {
+  std::int64_t kernel = 0;
+  std::int64_t stride = 0;
+};
+
+/// One element of the feature-extraction trunk (conv+ReLU or max pool),
+/// in network order.
+struct TrunkStage {
+  enum class Kind { kConv, kPool } kind = Kind::kConv;
+  ConvSpec conv;
+  PoolSpec pool;
+};
+
+struct SppNetConfig {
+  std::string name = "SPP-Net";
+  std::int64_t in_channels = 4;  // NAIP R,G,B,NIR
+  std::vector<TrunkStage> trunk;
+  std::vector<std::int64_t> spp_levels;  // e.g. {4, 2, 1}
+  std::vector<std::int64_t> fc_sizes;    // hidden layer widths
+  std::int64_t head_outputs = 5;         // objectness + (cx, cy, w, h)
+
+  /// Output channels of the last conv layer (SPP input channels).
+  std::int64_t trunk_out_channels() const;
+
+  /// SPP output feature count (FC input width).
+  std::int64_t spp_features() const;
+
+  /// Spatial size after the trunk for a square input of `size`.
+  std::int64_t trunk_out_size(std::int64_t size) const;
+
+  /// Paper notation, e.g. "C_{64,3,1}-P_{2,2}-...-SPP_{4,2,1}-F_{1024}".
+  std::string to_notation() const;
+
+  /// Total learnable parameter count.
+  std::int64_t parameter_count() const;
+};
+
+/// Parse the paper notation. Throws ConfigError on malformed input.
+SppNetConfig parse_notation(const std::string& notation,
+                            std::int64_t in_channels = 4);
+
+/// Table-1 presets.
+SppNetConfig original_sppnet();
+SppNetConfig sppnet_candidate1();
+SppNetConfig sppnet_candidate2();
+SppNetConfig sppnet_candidate3();
+
+/// All four Table-1 models in paper order.
+std::vector<SppNetConfig> table1_models();
+
+}  // namespace dcn::detect

@@ -1,0 +1,50 @@
+#include "geo/crossings.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dcn::geo {
+
+std::vector<Crossing> find_crossings(const Raster& streams,
+                                     const std::vector<Road>& roads,
+                                     std::int64_t min_separation) {
+  std::vector<Crossing> crossings;
+  auto too_close = [&](std::int64_t r, std::int64_t c) {
+    for (const Crossing& x : crossings) {
+      const std::int64_t dr = x.row - r;
+      const std::int64_t dc = x.col - c;
+      if (dr * dr + dc * dc <
+          min_separation * min_separation) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const Road& road : roads) {
+    for (const auto& [r, c] : road.centerline) {
+      if (!streams.in_bounds(r, c)) continue;
+      // Consider the near neighborhood so narrow streams clipped by the
+      // road rasterization still register.
+      bool on_stream = false;
+      for (int dr = -1; dr <= 1 && !on_stream; ++dr) {
+        for (int dc = -1; dc <= 1 && !on_stream; ++dc) {
+          if (streams.in_bounds(r + dr, c + dc) &&
+              streams.at(r + dr, c + dc) > 0.0f) {
+            on_stream = true;
+          }
+        }
+      }
+      if (!on_stream || too_close(r, c)) continue;
+      Crossing x;
+      x.row = r;
+      x.col = c;
+      x.extent = 14 + static_cast<std::int64_t>(road.width);
+      crossings.push_back(x);
+    }
+  }
+  return crossings;
+}
+
+}  // namespace dcn::geo

@@ -1,0 +1,33 @@
+// Drainage-crossing (culvert) placement.
+//
+// A drainage crossing exists wherever a stream passes under a road. We
+// intersect the stream raster with road centerlines, cluster intersection
+// runs (a stream crossing a wide road hits several cells) and emit one
+// culvert location per cluster — the ground-truth objects the detector is
+// trained on, standing in for the paper's manually digitized 2022 locations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/raster.hpp"
+#include "geo/roads.hpp"
+
+namespace dcn::geo {
+
+/// One ground-truth drainage crossing.
+struct Crossing {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+  /// Extent of the culvert structure in cells (bounding box side).
+  std::int64_t extent = 12;
+};
+
+/// Locate crossings: cells where the stream mask and a road surface overlap,
+/// clustered so each physical crossing is reported once. `min_separation`
+/// suppresses duplicates closer than that many cells.
+std::vector<Crossing> find_crossings(const Raster& streams,
+                                     const std::vector<Road>& roads,
+                                     std::int64_t min_separation = 24);
+
+}  // namespace dcn::geo

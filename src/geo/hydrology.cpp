@@ -1,0 +1,168 @@
+#include "geo/hydrology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace dcn::geo {
+namespace {
+
+struct Cell {
+  float elevation;
+  std::int64_t r;
+  std::int64_t c;
+  // Min-heap on elevation.
+  bool operator>(const Cell& other) const {
+    return elevation > other.elevation;
+  }
+};
+
+}  // namespace
+
+Raster fill_depressions(const Raster& dem, float epsilon) {
+  const std::int64_t rows = dem.rows();
+  const std::int64_t cols = dem.cols();
+  Raster filled(rows, cols);
+  std::vector<char> visited(static_cast<std::size_t>(rows * cols), 0);
+  std::priority_queue<Cell, std::vector<Cell>, std::greater<Cell>> heap;
+
+  auto push = [&](std::int64_t r, std::int64_t c, float elev) {
+    visited[static_cast<std::size_t>(r * cols + c)] = 1;
+    filled.at(r, c) = elev;
+    heap.push({elev, r, c});
+  };
+
+  // Seed with the boundary at its own elevation.
+  for (std::int64_t c = 0; c < cols; ++c) {
+    push(0, c, dem.at(0, c));
+    if (rows > 1) push(rows - 1, c, dem.at(rows - 1, c));
+  }
+  for (std::int64_t r = 1; r + 1 < rows; ++r) {
+    push(r, 0, dem.at(r, 0));
+    if (cols > 1) push(r, cols - 1, dem.at(r, cols - 1));
+  }
+
+  while (!heap.empty()) {
+    const Cell cell = heap.top();
+    heap.pop();
+    for (int d = 0; d < 8; ++d) {
+      const std::int64_t nr = cell.r + kD8Row[d];
+      const std::int64_t nc = cell.c + kD8Col[d];
+      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+      if (visited[static_cast<std::size_t>(nr * cols + nc)]) continue;
+      const float spill = std::max(dem.at(nr, nc), cell.elevation + epsilon);
+      push(nr, nc, spill);
+    }
+  }
+  return filled;
+}
+
+std::vector<int> flow_directions(const Raster& dem) {
+  const std::int64_t rows = dem.rows();
+  const std::int64_t cols = dem.cols();
+  std::vector<int> dirs(static_cast<std::size_t>(rows * cols), kPit);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float z = dem.at(r, c);
+      float best_drop = 0.0f;
+      int best_dir = kPit;
+      bool edge_descent = false;
+      for (int d = 0; d < 8; ++d) {
+        const std::int64_t nr = r + kD8Row[d];
+        const std::int64_t nc = c + kD8Col[d];
+        // Diagonal neighbors are sqrt(2) farther; weight the drop.
+        const float dist = (kD8Row[d] != 0 && kD8Col[d] != 0) ? 1.41421356f
+                                                              : 1.0f;
+        if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) {
+          edge_descent = true;  // grid edge acts as an outlet at -inf
+          continue;
+        }
+        const float drop = (z - dem.at(nr, nc)) / dist;
+        if (drop > best_drop) {
+          best_drop = drop;
+          best_dir = d;
+        }
+      }
+      if (best_dir == kPit && edge_descent) best_dir = kOutlet;
+      dirs[static_cast<std::size_t>(r * cols + c)] = best_dir;
+    }
+  }
+  return dirs;
+}
+
+Raster flow_accumulation(const Raster& dem, const std::vector<int>& dirs) {
+  const std::int64_t rows = dem.rows();
+  const std::int64_t cols = dem.cols();
+  const std::int64_t n = rows * cols;
+  DCN_CHECK(static_cast<std::int64_t>(dirs.size()) == n)
+      << "dirs size mismatch";
+
+  // In-degree of each cell in the flow graph.
+  std::vector<std::int32_t> indeg(static_cast<std::size_t>(n), 0);
+  auto target = [&](std::int64_t i) -> std::int64_t {
+    const int d = dirs[static_cast<std::size_t>(i)];
+    if (d < 0) return -1;
+    const std::int64_t r = i / cols + kD8Row[d];
+    const std::int64_t c = i % cols + kD8Col[d];
+    if (r < 0 || r >= rows || c < 0 || c >= cols) return -1;
+    return r * cols + c;
+  };
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t t = target(i);
+    if (t >= 0) ++indeg[static_cast<std::size_t>(t)];
+  }
+
+  Raster acc(rows, cols, 1.0f);
+  std::vector<std::int64_t> stack;
+  stack.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (indeg[static_cast<std::size_t>(i)] == 0) stack.push_back(i);
+  }
+  std::int64_t processed = 0;
+  while (!stack.empty()) {
+    const std::int64_t i = stack.back();
+    stack.pop_back();
+    ++processed;
+    const std::int64_t t = target(i);
+    if (t < 0) continue;
+    acc.data()[t] += acc.data()[i];
+    if (--indeg[static_cast<std::size_t>(t)] == 0) stack.push_back(t);
+  }
+  DCN_CHECK(processed == n)
+      << "flow graph has a cycle (" << processed << " of " << n
+      << " cells processed) — DEM not depression-filled?";
+  return acc;
+}
+
+Raster extract_streams(const Raster& accumulation, float threshold) {
+  Raster streams(accumulation.rows(), accumulation.cols());
+  for (std::int64_t i = 0; i < accumulation.size(); ++i) {
+    streams.data()[i] = accumulation.data()[i] >= threshold ? 1.0f : 0.0f;
+  }
+  return streams;
+}
+
+void apply_embankment(Raster& dem, const Raster& mask, float height) {
+  DCN_CHECK(dem.rows() == mask.rows() && dem.cols() == mask.cols())
+      << "embankment mask size";
+  for (std::int64_t i = 0; i < dem.size(); ++i) {
+    if (mask.data()[i] > 0.0f) dem.data()[i] += height * mask.data()[i];
+  }
+}
+
+void breach_at(Raster& dem,
+               const std::vector<std::pair<std::int64_t, std::int64_t>>& cells,
+               float depth, int radius) {
+  for (const auto& [r, c] : cells) {
+    for (int dr = -radius; dr <= radius; ++dr) {
+      for (int dc = -radius; dc <= radius; ++dc) {
+        const std::int64_t rr = r + dr;
+        const std::int64_t cc = c + dc;
+        if (dem.in_bounds(rr, cc)) dem.at(rr, cc) -= depth;
+      }
+    }
+  }
+}
+
+}  // namespace dcn::geo

@@ -1,0 +1,52 @@
+// DEM hydrology: depression filling, D8 flow routing, flow accumulation and
+// stream extraction.
+//
+// This is the elevation-derived drainage-delineation substrate the paper's
+// motivation (§2.1) describes: flow routed on a raw DEM is blocked by
+// embankment "digital dams"; breaching the DEM at drainage-crossing
+// locations (culverts) restores connectivity. The same primitives power the
+// data generator and the digital-dam demonstration example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/raster.hpp"
+
+namespace dcn::geo {
+
+/// D8 neighbor offsets, indexed by direction code 0..7
+/// (E, SE, S, SW, W, NW, N, NE).
+inline constexpr int kD8Row[8] = {0, 1, 1, 1, 0, -1, -1, -1};
+inline constexpr int kD8Col[8] = {1, 1, 0, -1, -1, -1, 0, 1};
+
+/// Direction code for a cell with no downslope neighbor (interior pit).
+inline constexpr int kPit = -1;
+/// Direction code for cells draining off the grid edge.
+inline constexpr int kOutlet = -2;
+
+/// Priority-flood depression filling (Barnes et al. 2014 variant): raises
+/// every interior pit to its spill elevation plus a tiny gradient epsilon so
+/// D8 routing never stalls. Returns the filled DEM.
+Raster fill_depressions(const Raster& dem, float epsilon = 1e-3f);
+
+/// Steepest-descent D8 directions. Cells on the boundary whose steepest
+/// descent leaves the grid get kOutlet; interior cells with no lower
+/// neighbor get kPit (run fill_depressions first to avoid them).
+std::vector<int> flow_directions(const Raster& dem);
+
+/// Number of upstream cells (including itself) draining through each cell.
+/// Runs in O(n) over the flow DAG.
+Raster flow_accumulation(const Raster& dem, const std::vector<int>& dirs);
+
+/// Binary stream mask: accumulation >= threshold.
+Raster extract_streams(const Raster& accumulation, float threshold);
+
+/// Raise the DEM along a mask (road embankments — the "digital dam").
+void apply_embankment(Raster& dem, const Raster& mask, float height);
+
+/// Lower the DEM at given cells (culvert breaching).
+void breach_at(Raster& dem, const std::vector<std::pair<std::int64_t, std::int64_t>>& cells,
+               float depth, int radius = 1);
+
+}  // namespace dcn::geo

@@ -1,0 +1,92 @@
+#include "geo/ppm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace dcn::geo {
+namespace {
+
+unsigned char to_byte(float v) {
+  return static_cast<unsigned char>(
+      std::clamp(std::lround(v * 255.0f), 0l, 255l));
+}
+
+}  // namespace
+
+void write_ppm_rgb(const std::string& path, const Orthophoto& photo) {
+  std::ofstream os(path, std::ios::binary);
+  DCN_CHECK(os.good()) << "cannot open " << path;
+  const std::int64_t rows = photo.rows();
+  const std::int64_t cols = photo.cols();
+  os << "P6\n" << cols << ' ' << rows << "\n255\n";
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      for (int b = 0; b < 3; ++b) {
+        const unsigned char byte = to_byte(photo.bands[b].at(r, c));
+        os.write(reinterpret_cast<const char*>(&byte), 1);
+      }
+    }
+  }
+  DCN_CHECK(os.good()) << "write to " << path << " failed";
+}
+
+void write_pgm(const std::string& path, const Raster& raster) {
+  Raster norm = raster;
+  norm.normalize(0.0f, 1.0f);
+  std::ofstream os(path, std::ios::binary);
+  DCN_CHECK(os.good()) << "cannot open " << path;
+  os << "P5\n" << norm.cols() << ' ' << norm.rows() << "\n255\n";
+  for (std::int64_t i = 0; i < norm.size(); ++i) {
+    const unsigned char byte = to_byte(norm.data()[i]);
+    os.write(reinterpret_cast<const char*>(&byte), 1);
+  }
+  DCN_CHECK(os.good()) << "write to " << path << " failed";
+}
+
+void write_patch_ppm(const std::string& path, const Tensor& patch,
+                     const float* box) {
+  DCN_CHECK(patch.rank() == 3 && patch.dim(0) >= 3)
+      << "expected [>=3, H, W] patch, got " << patch.shape().to_string();
+  const std::int64_t h = patch.dim(1);
+  const std::int64_t w = patch.dim(2);
+  std::vector<unsigned char> pixels(static_cast<std::size_t>(h * w * 3));
+  for (std::int64_t r = 0; r < h; ++r) {
+    for (std::int64_t c = 0; c < w; ++c) {
+      for (int b = 0; b < 3; ++b) {
+        pixels[static_cast<std::size_t>((r * w + c) * 3 + b)] =
+            to_byte(patch.at({b, r, c}));
+      }
+    }
+  }
+  if (box != nullptr && box[2] > 0.0f && box[3] > 0.0f) {
+    const auto x0 = static_cast<std::int64_t>((box[0] - box[2] / 2) * w);
+    const auto x1 = static_cast<std::int64_t>((box[0] + box[2] / 2) * w);
+    const auto y0 = static_cast<std::int64_t>((box[1] - box[3] / 2) * h);
+    const auto y1 = static_cast<std::int64_t>((box[1] + box[3] / 2) * h);
+    auto paint = [&](std::int64_t r, std::int64_t c) {
+      if (r < 0 || r >= h || c < 0 || c >= w) return;
+      for (int b = 0; b < 3; ++b) {
+        pixels[static_cast<std::size_t>((r * w + c) * 3 + b)] = 255;
+      }
+    };
+    for (std::int64_t c = x0; c <= x1; ++c) {
+      paint(y0, c);
+      paint(y1, c);
+    }
+    for (std::int64_t r = y0; r <= y1; ++r) {
+      paint(r, x0);
+      paint(r, x1);
+    }
+  }
+  std::ofstream os(path, std::ios::binary);
+  DCN_CHECK(os.good()) << "cannot open " << path;
+  os << "P6\n" << w << ' ' << h << "\n255\n";
+  os.write(reinterpret_cast<const char*>(pixels.data()),
+           static_cast<std::streamsize>(pixels.size()));
+  DCN_CHECK(os.good()) << "write to " << path << " failed";
+}
+
+}  // namespace dcn::geo

@@ -1,0 +1,23 @@
+// PPM/PGM image export for visual inspection of the synthetic data
+// (regenerates the paper's Figure-4-style sample previews).
+#pragma once
+
+#include <string>
+
+#include "geo/render.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dcn::geo {
+
+/// Write the RGB bands of an orthophoto as a binary PPM (P6).
+void write_ppm_rgb(const std::string& path, const Orthophoto& photo);
+
+/// Write one raster as a grayscale PGM (P5), min-max normalized.
+void write_pgm(const std::string& path, const Raster& raster);
+
+/// Write a [4, H, W] patch tensor as PPM using its RGB bands; optionally
+/// draws a 1-px white box (cx, cy, w, h normalized) for label inspection.
+void write_patch_ppm(const std::string& path, const Tensor& patch,
+                     const float* box = nullptr);
+
+}  // namespace dcn::geo

@@ -1,0 +1,71 @@
+#include "geo/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dcn::geo {
+
+Raster::Raster(std::int64_t rows, std::int64_t cols, float fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), fill) {
+  DCN_CHECK(rows > 0 && cols > 0) << "raster dims " << rows << 'x' << cols;
+}
+
+float& Raster::at(std::int64_t r, std::int64_t c) {
+  DCN_DCHECK(in_bounds(r, c)) << "raster index (" << r << ", " << c << ")";
+  return data_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+float Raster::at(std::int64_t r, std::int64_t c) const {
+  DCN_DCHECK(in_bounds(r, c)) << "raster index (" << r << ", " << c << ")";
+  return data_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+float Raster::at_clamped(std::int64_t r, std::int64_t c) const {
+  r = std::clamp<std::int64_t>(r, 0, rows_ - 1);
+  c = std::clamp<std::int64_t>(c, 0, cols_ - 1);
+  return data_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+float Raster::sample(double r, double c) const {
+  const double rr = std::clamp(r, 0.0, static_cast<double>(rows_ - 1));
+  const double cc = std::clamp(c, 0.0, static_cast<double>(cols_ - 1));
+  const std::int64_t r0 = static_cast<std::int64_t>(std::floor(rr));
+  const std::int64_t c0 = static_cast<std::int64_t>(std::floor(cc));
+  const double fr = rr - static_cast<double>(r0);
+  const double fc = cc - static_cast<double>(c0);
+  const float v00 = at_clamped(r0, c0);
+  const float v01 = at_clamped(r0, c0 + 1);
+  const float v10 = at_clamped(r0 + 1, c0);
+  const float v11 = at_clamped(r0 + 1, c0 + 1);
+  const double top = v00 + (v01 - v00) * fc;
+  const double bot = v10 + (v11 - v10) * fc;
+  return static_cast<float>(top + (bot - top) * fr);
+}
+
+float Raster::min_value() const {
+  DCN_CHECK(!data_.empty()) << "min of empty raster";
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Raster::max_value() const {
+  DCN_CHECK(!data_.empty()) << "max of empty raster";
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+void Raster::normalize(float lo, float hi) {
+  DCN_CHECK(lo <= hi) << "normalize range";
+  const float mn = min_value();
+  const float mx = max_value();
+  if (mx <= mn) {
+    std::fill(data_.begin(), data_.end(), lo);
+    return;
+  }
+  const float scale = (hi - lo) / (mx - mn);
+  for (auto& v : data_) v = lo + (v - mn) * scale;
+}
+
+}  // namespace dcn::geo

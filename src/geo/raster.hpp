@@ -1,0 +1,51 @@
+// Single-band raster grid.
+//
+// The geo substrate works on square-ish float rasters at a nominal 1 m
+// ground sample distance, mirroring the paper's NAIP orthophotos and
+// LiDAR-derived DEMs. Row 0 is north; x grows east.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dcn::geo {
+
+/// Row-major float raster.
+class Raster {
+ public:
+  Raster() = default;
+  Raster(std::int64_t rows, std::int64_t cols, float fill = 0.0f);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t size() const { return rows_ * cols_; }
+
+  float& at(std::int64_t r, std::int64_t c);
+  float at(std::int64_t r, std::int64_t c) const;
+
+  /// Clamped access: coordinates outside the grid read the nearest cell.
+  float at_clamped(std::int64_t r, std::int64_t c) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  bool in_bounds(std::int64_t r, std::int64_t c) const {
+    return r >= 0 && r < rows_ && c >= 0 && c < cols_;
+  }
+
+  /// Bilinear sample at fractional (row, col), clamped at edges.
+  float sample(double r, double c) const;
+
+  /// Linearly rescale values so min -> lo and max -> hi (no-op when flat).
+  void normalize(float lo, float hi);
+
+  float min_value() const;
+  float max_value() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace dcn::geo

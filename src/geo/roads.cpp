@@ -1,0 +1,83 @@
+#include "geo/roads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace dcn::geo {
+namespace {
+
+Road make_road(std::int64_t rows, std::int64_t cols, bool horizontal,
+               double base, const RoadConfig& config, Rng& rng) {
+  Road road;
+  road.width = config.width;
+  const std::int64_t length = horizontal ? cols : rows;
+  double cross = base;
+  double drift = 0.0;
+  road.centerline.reserve(static_cast<std::size_t>(length));
+  for (std::int64_t t = 0; t < length; ++t) {
+    drift += rng.uniform(-config.drift, config.drift);
+    drift *= 0.97;
+    cross += drift;
+    const double limit = horizontal ? rows - 1.0 : cols - 1.0;
+    cross = std::clamp(cross, 1.0, limit - 1.0);
+    const std::int64_t ci = static_cast<std::int64_t>(std::lround(cross));
+    if (horizontal) {
+      road.centerline.emplace_back(ci, t);
+    } else {
+      road.centerline.emplace_back(t, ci);
+    }
+  }
+  return road;
+}
+
+}  // namespace
+
+std::vector<Road> synthesize_roads(std::int64_t rows, std::int64_t cols,
+                                   const RoadConfig& config, Rng& rng) {
+  DCN_CHECK(config.spacing >= 16) << "road spacing too small";
+  std::vector<Road> roads;
+  for (std::int64_t base = config.spacing / 2; base < rows;
+       base += config.spacing) {
+    if (!rng.bernoulli(config.density)) continue;
+    const double jittered = base + rng.uniform(-0.2, 0.2) * config.spacing;
+    roads.push_back(make_road(rows, cols, /*horizontal=*/true, jittered,
+                              config, rng));
+  }
+  for (std::int64_t base = config.spacing / 2; base < cols;
+       base += config.spacing) {
+    if (!rng.bernoulli(config.density)) continue;
+    const double jittered = base + rng.uniform(-0.2, 0.2) * config.spacing;
+    roads.push_back(make_road(rows, cols, /*horizontal=*/false, jittered,
+                              config, rng));
+  }
+  return roads;
+}
+
+Raster rasterize_roads(std::int64_t rows, std::int64_t cols,
+                       const std::vector<Road>& roads) {
+  Raster mask(rows, cols);
+  for (const Road& road : roads) {
+    const int half = static_cast<int>(std::ceil(road.width / 2.0)) + 1;
+    for (const auto& [r, c] : road.centerline) {
+      for (int dr = -half; dr <= half; ++dr) {
+        for (int dc = -half; dc <= half; ++dc) {
+          const std::int64_t rr = r + dr;
+          const std::int64_t cc = c + dc;
+          if (!mask.in_bounds(rr, cc)) continue;
+          const double dist = std::sqrt(double(dr * dr + dc * dc));
+          // 1.0 on the paved surface, linear falloff on the shoulder.
+          const double v =
+              std::clamp(1.0 - (dist - road.width / 2.0), 0.0, 1.0);
+          mask.at(rr, cc) =
+              std::max(mask.at(rr, cc), static_cast<float>(v));
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace dcn::geo

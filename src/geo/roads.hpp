@@ -1,0 +1,45 @@
+// Road network synthesis.
+//
+// The study watershed has a dense, mostly rectilinear agricultural road
+// grid. We synthesize north-south and east-west section roads with gentle
+// jitter and rasterize them with a configurable width; the mask later (a)
+// raises road embankments onto the DEM ("digital dams") and (b) paints the
+// gray road surface into the orthophoto bands.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/raster.hpp"
+
+namespace dcn {
+class Rng;
+}
+
+namespace dcn::geo {
+
+/// One road centerline as a dense polyline of cell coordinates.
+struct Road {
+  std::vector<std::pair<std::int64_t, std::int64_t>> centerline;  // (r, c)
+  double width = 5.0;  // meters (cells)
+};
+
+struct RoadConfig {
+  /// Approximate spacing between parallel roads (cells).
+  std::int64_t spacing = 120;
+  /// Road half-width jitter and drift amplitude.
+  double drift = 0.15;
+  double width = 5.0;
+  /// Fraction of grid lines that actually carry a road.
+  double density = 0.85;
+};
+
+/// Generate a rectilinear-with-jitter road network over a rows x cols grid.
+std::vector<Road> synthesize_roads(std::int64_t rows, std::int64_t cols,
+                                   const RoadConfig& config, Rng& rng);
+
+/// Rasterize roads into a [0,1] mask (1 on the surface, soft shoulder).
+Raster rasterize_roads(std::int64_t rows, std::int64_t cols,
+                       const std::vector<Road>& roads);
+
+}  // namespace dcn::geo

@@ -1,0 +1,125 @@
+#include "geo/streamstats.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "geo/hydrology.hpp"
+
+namespace dcn::geo {
+
+Raster strahler_order(const Raster& streams, const std::vector<int>& dirs) {
+  const std::int64_t rows = streams.rows();
+  const std::int64_t cols = streams.cols();
+  const std::int64_t n = rows * cols;
+  DCN_CHECK(static_cast<std::int64_t>(dirs.size()) == n) << "dirs size";
+
+  auto target = [&](std::int64_t i) -> std::int64_t {
+    const int d = dirs[static_cast<std::size_t>(i)];
+    if (d < 0) return -1;
+    const std::int64_t r = i / cols + kD8Row[d];
+    const std::int64_t c = i % cols + kD8Col[d];
+    if (r < 0 || r >= rows || c < 0 || c >= cols) return -1;
+    return r * cols + c;
+  };
+
+  // Process stream cells in upstream-first (topological) order restricted
+  // to the stream network; Strahler rule: order = max child order, +1 when
+  // two or more children share the max.
+  std::vector<std::int32_t> indeg(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (streams.data()[i] == 0.0f) continue;
+    const std::int64_t t = target(i);
+    if (t >= 0 && streams.data()[t] > 0.0f) {
+      ++indeg[static_cast<std::size_t>(t)];
+    }
+  }
+  Raster order(rows, cols);
+  std::vector<std::int32_t> max_child(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> max_count(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> stack;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (streams.data()[i] > 0.0f && indeg[static_cast<std::size_t>(i)] == 0) {
+      stack.push_back(i);
+    }
+  }
+  while (!stack.empty()) {
+    const std::int64_t i = stack.back();
+    stack.pop_back();
+    std::int32_t my_order = 1;
+    if (max_child[static_cast<std::size_t>(i)] > 0) {
+      my_order = max_child[static_cast<std::size_t>(i)] +
+                 (max_count[static_cast<std::size_t>(i)] >= 2 ? 1 : 0);
+    }
+    order.data()[i] = static_cast<float>(my_order);
+    const std::int64_t t = target(i);
+    if (t < 0 || streams.data()[t] == 0.0f) continue;
+    auto& mc = max_child[static_cast<std::size_t>(t)];
+    auto& cnt = max_count[static_cast<std::size_t>(t)];
+    if (my_order > mc) {
+      mc = my_order;
+      cnt = 1;
+    } else if (my_order == mc) {
+      ++cnt;
+    }
+    if (--indeg[static_cast<std::size_t>(t)] == 0) stack.push_back(t);
+  }
+  return order;
+}
+
+WatershedStats watershedstats_impl(const Raster& dem, const Raster& streams,
+                                   const Raster& order,
+                                   const std::vector<int>& dirs,
+                                   const std::vector<Crossing>& crossings) {
+  WatershedStats stats;
+  std::int64_t stream_cells = 0;
+  int max_order = 0;
+  for (std::int64_t i = 0; i < streams.size(); ++i) {
+    if (streams.data()[i] > 0.0f) {
+      ++stream_cells;
+      max_order = std::max(max_order, static_cast<int>(order.data()[i]));
+    }
+  }
+  stats.drainage_density =
+      static_cast<double>(stream_cells) / static_cast<double>(streams.size());
+  stats.max_strahler_order = max_order;
+  stats.cells_per_order.assign(static_cast<std::size_t>(max_order) + 1, 0);
+  for (std::int64_t i = 0; i < streams.size(); ++i) {
+    const int o = static_cast<int>(order.data()[i]);
+    if (o > 0) ++stats.cells_per_order[static_cast<std::size_t>(o)];
+  }
+  // Sources: order-1 stream cells with no upstream stream neighbor.
+  const std::int64_t rows = streams.rows();
+  const std::int64_t cols = streams.cols();
+  for (std::int64_t i = 0; i < streams.size(); ++i) {
+    if (order.data()[i] != 1.0f) continue;
+    bool has_upstream = false;
+    const std::int64_t r = i / cols;
+    const std::int64_t c = i % cols;
+    for (int d = 0; d < 8 && !has_upstream; ++d) {
+      const std::int64_t nr = r + kD8Row[d];
+      const std::int64_t nc = c + kD8Col[d];
+      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+      const std::int64_t j = nr * cols + nc;
+      if (streams.data()[j] == 0.0f) continue;
+      const int nd = dirs[static_cast<std::size_t>(j)];
+      if (nd < 0) continue;
+      if (nr + kD8Row[nd] == r && nc + kD8Col[nd] == c) has_upstream = true;
+    }
+    if (!has_upstream) ++stats.sources;
+  }
+  stats.relief = static_cast<double>(dem.max_value() - dem.min_value());
+  stats.crossing_density =
+      stream_cells > 0
+          ? 1000.0 * static_cast<double>(crossings.size()) / stream_cells
+          : 0.0;
+  return stats;
+}
+
+WatershedStats watershed_stats(const Raster& dem, const Raster& streams,
+                               const std::vector<int>& dirs,
+                               const std::vector<Crossing>& crossings) {
+  const Raster order = strahler_order(streams, dirs);
+  return watershedstats_impl(dem, streams, order, dirs, crossings);
+}
+
+}  // namespace dcn::geo

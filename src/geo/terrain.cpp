@@ -1,0 +1,116 @@
+#include "geo/terrain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace dcn::geo {
+namespace {
+
+// Smoothstep-interpolated lattice noise for one octave.
+Raster lattice_noise(std::int64_t rows, std::int64_t cols, double wavelength,
+                     Rng& rng) {
+  DCN_CHECK(wavelength >= 1.0) << "noise wavelength";
+  const std::int64_t grid_rows =
+      static_cast<std::int64_t>(std::ceil(rows / wavelength)) + 2;
+  const std::int64_t grid_cols =
+      static_cast<std::int64_t>(std::ceil(cols / wavelength)) + 2;
+  Raster lattice(grid_rows, grid_cols);
+  for (std::int64_t r = 0; r < grid_rows; ++r) {
+    for (std::int64_t c = 0; c < grid_cols; ++c) {
+      lattice.at(r, c) = static_cast<float>(rng.uniform());
+    }
+  }
+  auto smooth = [](double t) { return t * t * (3.0 - 2.0 * t); };
+  Raster out(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const double gr = r / wavelength;
+    const std::int64_t r0 = static_cast<std::int64_t>(gr);
+    const double fr = smooth(gr - r0);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const double gc = c / wavelength;
+      const std::int64_t c0 = static_cast<std::int64_t>(gc);
+      const double fc = smooth(gc - c0);
+      const double top = lattice.at(r0, c0) +
+                         (lattice.at(r0, c0 + 1) - lattice.at(r0, c0)) * fc;
+      const double bot =
+          lattice.at(r0 + 1, c0) +
+          (lattice.at(r0 + 1, c0 + 1) - lattice.at(r0 + 1, c0)) * fc;
+      out.at(r, c) = static_cast<float>(top + (bot - top) * fr);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Raster value_noise(std::int64_t rows, std::int64_t cols, double wavelength,
+                   int octaves, Rng& rng) {
+  DCN_CHECK(octaves >= 1) << "octaves";
+  Raster acc(rows, cols);
+  double amp = 1.0;
+  double total_amp = 0.0;
+  double wl = wavelength;
+  for (int o = 0; o < octaves; ++o) {
+    const Raster layer = lattice_noise(rows, cols, std::max(1.0, wl), rng);
+    for (std::int64_t i = 0; i < acc.size(); ++i) {
+      acc.data()[i] += static_cast<float>(amp) * layer.data()[i];
+    }
+    total_amp += amp;
+    amp *= 0.5;
+    wl *= 0.5;
+  }
+  for (std::int64_t i = 0; i < acc.size(); ++i) {
+    acc.data()[i] = static_cast<float>(acc.data()[i] / total_amp);
+  }
+  return acc;
+}
+
+Raster synthesize_terrain(const TerrainConfig& config, Rng& rng) {
+  DCN_CHECK(config.rows >= 32 && config.cols >= 32)
+      << "terrain too small: " << config.rows << 'x' << config.cols;
+  Raster dem(config.rows, config.cols);
+
+  // Regional west->east tilt (the watershed drains eastward).
+  for (std::int64_t r = 0; r < config.rows; ++r) {
+    for (std::int64_t c = 0; c < config.cols; ++c) {
+      const double frac = static_cast<double>(c) / (config.cols - 1);
+      dem.at(r, c) = static_cast<float>(config.regional_drop * (1.0 - frac));
+    }
+  }
+
+  // Loess-plain undulation.
+  const Raster noise = value_noise(config.rows, config.cols,
+                                   config.base_wavelength, config.octaves, rng);
+  for (std::int64_t i = 0; i < dem.size(); ++i) {
+    dem.data()[i] +=
+        static_cast<float>((noise.data()[i] - 0.5) * config.noise_amplitude);
+  }
+
+  // Carve shallow primary valleys as smooth west->east wandering paths so
+  // flow accumulation concentrates into a few main stems.
+  for (int v = 0; v < config.valleys; ++v) {
+    double row = rng.uniform(0.15, 0.85) * config.rows;
+    double drift = 0.0;
+    for (std::int64_t c = 0; c < config.cols; ++c) {
+      drift += rng.uniform(-0.35, 0.35);
+      drift *= 0.98;  // mean-revert so valleys stay in the basin
+      row += drift;
+      row = std::clamp(row, 4.0, static_cast<double>(config.rows - 5));
+      const std::int64_t rc = static_cast<std::int64_t>(row);
+      // Gaussian cross-section, ~9 cells wide.
+      for (std::int64_t dr = -6; dr <= 6; ++dr) {
+        const std::int64_t rr = rc + dr;
+        if (rr < 0 || rr >= config.rows) continue;
+        const double w = std::exp(-(dr * dr) / (2.0 * 2.5 * 2.5));
+        dem.at(rr, c) -= static_cast<float>(config.valley_depth * w);
+      }
+    }
+  }
+  return dem;
+}
+
+}  // namespace dcn::geo

@@ -1,0 +1,44 @@
+// Procedural DEM synthesis.
+//
+// Models the paper's study area — a gently undulating loess plain with a
+// regional west-to-east descending gradient (West Fork Big Blue Watershed,
+// NE) — as multi-octave value noise on top of a tilted plane, plus a few
+// carved valley lines so the flow-routing stage produces a realistic
+// dendritic stream network.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/raster.hpp"
+
+namespace dcn {
+class Rng;
+}
+
+namespace dcn::geo {
+
+struct TerrainConfig {
+  std::int64_t rows = 512;
+  std::int64_t cols = 512;
+  /// Total regional drop from west edge to east edge (meters).
+  double regional_drop = 12.0;
+  /// Peak-to-peak amplitude of the undulation noise (meters).
+  double noise_amplitude = 3.0;
+  /// Number of value-noise octaves.
+  int octaves = 5;
+  /// Base noise wavelength in cells.
+  double base_wavelength = 160.0;
+  /// Number of carved primary valleys.
+  int valleys = 3;
+  /// Valley depth in meters.
+  double valley_depth = 2.5;
+};
+
+/// Generate a DEM per the config. Deterministic given `rng`'s state.
+Raster synthesize_terrain(const TerrainConfig& config, Rng& rng);
+
+/// Smoothed value noise in [0, 1] (exposed for the renderer's textures).
+Raster value_noise(std::int64_t rows, std::int64_t cols, double wavelength,
+                   int octaves, Rng& rng);
+
+}  // namespace dcn::geo

@@ -1,0 +1,66 @@
+#include "geo/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "geo/patch.hpp"
+
+namespace dcn::geo {
+
+std::pair<double, double> GeoTransform::pixel_to_world(double row,
+                                                       double col) const {
+  return {origin_x + (col + 0.5) * pixel_size,
+          origin_y - (row + 0.5) * pixel_size};
+}
+
+std::pair<double, double> GeoTransform::world_to_pixel(double x,
+                                                       double y) const {
+  return {(origin_y - y) / pixel_size - 0.5,
+          (x - origin_x) / pixel_size - 0.5};
+}
+
+std::vector<Tile> make_tiles(std::int64_t rows, std::int64_t cols,
+                             std::int64_t tile_size, double overlap,
+                             const GeoTransform& transform) {
+  DCN_CHECK(tile_size > 0 && tile_size <= rows && tile_size <= cols)
+      << "tile size " << tile_size << " vs scene " << rows << 'x' << cols;
+  DCN_CHECK(overlap >= 0.0 && overlap < 1.0) << "overlap " << overlap;
+  const auto stride = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(tile_size * (1.0 - overlap))));
+
+  std::vector<Tile> tiles;
+  for (std::int64_t r = 0;; r += stride) {
+    const std::int64_t row = std::min(r, rows - tile_size);
+    for (std::int64_t c = 0;; c += stride) {
+      const std::int64_t col = std::min(c, cols - tile_size);
+      Tile tile;
+      tile.row = row;
+      tile.col = col;
+      tile.size = tile_size;
+      const auto [x, y] = transform.pixel_to_world(
+          row + tile_size / 2.0 - 0.5, col + tile_size / 2.0 - 0.5);
+      tile.center_x = x;
+      tile.center_y = y;
+      tiles.push_back(tile);
+      if (col == cols - tile_size) break;
+    }
+    if (row == rows - tile_size) break;
+  }
+  return tiles;
+}
+
+Tensor extract_tile(const Orthophoto& photo, const Tile& tile) {
+  return clip_patch(photo, tile.row + tile.size / 2, tile.col + tile.size / 2,
+                    tile.size);
+}
+
+std::pair<double, double> detection_to_world(const Tile& tile,
+                                             const float box[4],
+                                             const GeoTransform& transform) {
+  const double row = tile.row + static_cast<double>(box[1]) * tile.size - 0.5;
+  const double col = tile.col + static_cast<double>(box[0]) * tile.size - 0.5;
+  return transform.pixel_to_world(row, col);
+}
+
+}  // namespace dcn::geo

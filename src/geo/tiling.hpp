@@ -1,0 +1,57 @@
+// Georeferenced tiling of orthophotos.
+//
+// The paper's pipeline clips 100x100 m samples out of >10 GB orthophoto
+// mosaics (§3.2). This module provides the survey-scan counterpart: a
+// GeoTransform mapping pixel to world coordinates (NAIP products are
+// 1 m GSD), and a TileIterator that walks a scene in overlapping tiles so
+// detections can be georeferenced back into world space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/render.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dcn::geo {
+
+/// Affine pixel->world transform (axis-aligned; NAIP-style north-up).
+struct GeoTransform {
+  double origin_x = 0.0;  // world x of pixel (0, 0)'s corner (east, meters)
+  double origin_y = 0.0;  // world y of pixel (0, 0)'s corner (north, meters)
+  double pixel_size = 1.0;  // meters per pixel (NAIP: 1.0)
+
+  /// Center of pixel (row, col) in world coordinates (x east, y north;
+  /// rows grow southward as in raster convention).
+  std::pair<double, double> pixel_to_world(double row, double col) const;
+
+  /// Inverse of pixel_to_world.
+  std::pair<double, double> world_to_pixel(double x, double y) const;
+};
+
+struct Tile {
+  std::int64_t row = 0;  // top-left pixel of the tile
+  std::int64_t col = 0;
+  std::int64_t size = 0;
+  /// World coordinates of the tile center.
+  double center_x = 0.0;
+  double center_y = 0.0;
+};
+
+/// Overlapping tile grid covering a rows x cols scene. `overlap` is the
+/// fraction of the tile side shared between neighbors (0 = edge to edge).
+std::vector<Tile> make_tiles(std::int64_t rows, std::int64_t cols,
+                             std::int64_t tile_size, double overlap,
+                             const GeoTransform& transform);
+
+/// Extract one tile from a photo as a [4, size, size] tensor
+/// (edge-clamped at scene borders).
+Tensor extract_tile(const Orthophoto& photo, const Tile& tile);
+
+/// Map a detection box (cx, cy, w, h normalized within `tile`) to world
+/// coordinates of the detection center.
+std::pair<double, double> detection_to_world(const Tile& tile,
+                                             const float box[4],
+                                             const GeoTransform& transform);
+
+}  // namespace dcn::geo

@@ -1,0 +1,148 @@
+#include "graph/blocks.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dcn::graph {
+namespace {
+
+// Post-dominator sets over the DAG, as boolean tables. nodes are processed
+// in reverse id order, which is reverse-topological by construction
+// (Graph::add_op enforces inputs < id).
+std::vector<std::vector<bool>> post_dominators(const Graph& graph) {
+  const std::size_t n = graph.size();
+  std::vector<std::vector<bool>> pdom(n, std::vector<bool>(n, false));
+  for (std::size_t i = n; i-- > 0;) {
+    const OpId id = static_cast<OpId>(i);
+    const auto succ = graph.successors(id);
+    if (succ.empty()) {
+      pdom[i][i] = true;
+      continue;
+    }
+    // Intersection of successors' post-dominators ...
+    std::vector<bool> inter(n, true);
+    for (OpId s : succ) {
+      for (std::size_t j = 0; j < n; ++j) {
+        inter[j] = inter[j] && pdom[static_cast<std::size_t>(s)][j];
+      }
+    }
+    inter[i] = true;  // ... plus the node itself.
+    pdom[i] = std::move(inter);
+  }
+  return pdom;
+}
+
+// Forward reachability from `from` (inclusive).
+std::vector<bool> reachable_from(const Graph& graph, OpId from) {
+  std::vector<bool> reach(graph.size(), false);
+  std::vector<OpId> stack{from};
+  while (!stack.empty()) {
+    const OpId id = stack.back();
+    stack.pop_back();
+    if (reach[static_cast<std::size_t>(id)]) continue;
+    reach[static_cast<std::size_t>(id)] = true;
+    for (OpId s : graph.successors(id)) stack.push_back(s);
+  }
+  return reach;
+}
+
+// Backward reachability to `to` (inclusive).
+std::vector<bool> reaching(const Graph& graph, OpId to) {
+  std::vector<bool> reach(graph.size(), false);
+  std::vector<OpId> stack{to};
+  while (!stack.empty()) {
+    const OpId id = stack.back();
+    stack.pop_back();
+    if (reach[static_cast<std::size_t>(id)]) continue;
+    reach[static_cast<std::size_t>(id)] = true;
+    for (OpId in : graph.node(id).inputs) stack.push_back(in);
+  }
+  return reach;
+}
+
+}  // namespace
+
+std::vector<Block> extract_blocks(const Graph& graph) {
+  const std::size_t n = graph.size();
+  DCN_CHECK(n > 0) << "empty graph";
+  const auto pdom = post_dominators(graph);
+
+  std::vector<Block> blocks;
+  std::vector<bool> consumed(n, false);
+  Block current;  // accumulating linear segment
+
+  auto flush_linear = [&] {
+    if (!current.ops.empty()) {
+      blocks.push_back(std::move(current));
+      current = Block{};
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const OpId id = static_cast<OpId>(i);
+    if (consumed[i]) continue;
+    const auto succ = graph.successors(id);
+    consumed[i] = true;
+    current.ops.push_back(id);
+    if (succ.size() <= 1) continue;
+
+    // Fork: the block spans everything between here and the immediate
+    // post-dominator (the join).
+    OpId join = kInvalidOp;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (pdom[i][j]) {
+        join = static_cast<OpId>(j);
+        break;  // ids are topological, so the first is the immediate one
+      }
+    }
+    DCN_CHECK(join != kInvalidOp)
+        << "fork at op " << id << " has no post-dominator";
+
+    flush_linear();  // the fork node terminates the preceding linear run
+
+    Block block;
+    block.branched = true;
+    block.entry = id;
+    block.exit = join;
+    // The join node itself is left to the following segment so that a join
+    // that is itself a fork still opens its own block.
+    const auto fwd = reachable_from(graph, id);
+    const auto bwd = reaching(graph, join);
+    for (std::size_t j = i + 1;
+         j < static_cast<std::size_t>(join); ++j) {
+      if (fwd[j] && bwd[j] && !consumed[j]) {
+        block.ops.push_back(static_cast<OpId>(j));
+        consumed[j] = true;
+      }
+    }
+    blocks.push_back(std::move(block));
+  }
+  flush_linear();
+  return blocks;
+}
+
+std::vector<std::vector<OpId>> block_branches(const Graph& graph,
+                                              const Block& block) {
+  DCN_CHECK(block.branched) << "block_branches on a linear block";
+  std::vector<std::vector<OpId>> branches;
+  for (OpId head : graph.successors(block.entry)) {
+    if (head == block.exit) {
+      branches.push_back({});  // pass-through edge
+      continue;
+    }
+    std::vector<OpId> chain;
+    OpId cur = head;
+    while (cur != block.exit) {
+      chain.push_back(cur);
+      const auto succ = graph.successors(cur);
+      DCN_CHECK(succ.size() == 1)
+          << "branch at op " << cur << " is not a simple chain";
+      cur = succ.front();
+    }
+    branches.push_back(std::move(chain));
+  }
+  return branches;
+}
+
+}  // namespace dcn::graph

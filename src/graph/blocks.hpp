@@ -1,0 +1,41 @@
+// Branched-block extraction.
+//
+// IOS (Ding et al., MLSys'21) optimizes "blocks": convergent branched
+// substructures whose entry dominates and whose exit post-dominates every
+// interior operator. We segment the whole graph into an alternating
+// sequence of linear runs and branched blocks: scanning a topological
+// order, every fork node (>1 successors) opens a block that closes at its
+// immediate post-dominator (the Concat for SPP). The scheduler optimizes
+// each block independently, exactly as IOS does.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcn::graph {
+
+/// One schedulable segment of the graph.
+struct Block {
+  /// All operator ids in the block (topologically ordered). For a linear
+  /// segment this is the chain itself; for a branched block it is the
+  /// branch interiors only (entry and exit live in neighboring segments).
+  std::vector<OpId> ops;
+  /// True if the block contains parallel branches (worth optimizing).
+  bool branched = false;
+  /// Fork node feeding the block (kInvalidOp for the leading segment).
+  OpId entry = kInvalidOp;
+  /// Join node consuming the block's branches (kInvalidOp for linear).
+  OpId exit = kInvalidOp;
+};
+
+/// Partition the graph into consecutive blocks covering every op exactly
+/// once, in execution order.
+std::vector<Block> extract_blocks(const Graph& graph);
+
+/// The parallel branches of a branched block: each inner vector is one
+/// chain of ops from (exclusive) entry to (exclusive) exit.
+std::vector<std::vector<OpId>> block_branches(const Graph& graph,
+                                              const Block& block);
+
+}  // namespace dcn::graph

@@ -1,0 +1,91 @@
+#include "graph/builder.hpp"
+
+#include "core/error.hpp"
+
+namespace dcn::graph {
+
+Graph build_inference_graph(const detect::SppNetConfig& config,
+                            std::int64_t input_size) {
+  DCN_CHECK(input_size >= 8) << "input size " << input_size;
+  Graph g;
+
+  std::int64_t channels = config.in_channels;
+  std::int64_t size = input_size;
+  OpId prev = g.add_op(OpKind::kInput, "input", {}, {},
+                       TensorDesc{{channels, size, size}});
+
+  int conv_index = 0;
+  int pool_index = 0;
+  for (const detect::TrunkStage& stage : config.trunk) {
+    if (stage.kind == detect::TrunkStage::Kind::kConv) {
+      const std::int64_t pad = stage.conv.kernel / 2;
+      size = (size + 2 * pad - stage.conv.kernel) / stage.conv.stride + 1;
+      DCN_CHECK(size > 0) << "conv collapses spatial size";
+      channels = stage.conv.filters;
+      OpAttrs attrs;
+      attrs.kernel = stage.conv.kernel;
+      attrs.stride = stage.conv.stride;
+      attrs.padding = pad;
+      attrs.out_channels = channels;
+      prev = g.add_op(OpKind::kConv2d, "conv" + std::to_string(conv_index),
+                      attrs, {prev}, TensorDesc{{channels, size, size}});
+      prev = g.add_op(OpKind::kReLU, "relu_c" + std::to_string(conv_index),
+                      {}, {prev}, TensorDesc{{channels, size, size}});
+      ++conv_index;
+    } else {
+      size = (size - stage.pool.kernel) / stage.pool.stride + 1;
+      DCN_CHECK(size > 0) << "pool collapses spatial size";
+      OpAttrs attrs;
+      attrs.kernel = stage.pool.kernel;
+      attrs.stride = stage.pool.stride;
+      prev = g.add_op(OpKind::kMaxPool, "pool" + std::to_string(pool_index),
+                      attrs, {prev}, TensorDesc{{channels, size, size}});
+      ++pool_index;
+    }
+  }
+
+  // SPP block: one AdaptivePool -> Flatten chain per pyramid level, all
+  // reading the trunk output, converging on Concat.
+  std::vector<OpId> branch_outputs;
+  for (std::size_t b = 0; b < config.spp_levels.size(); ++b) {
+    const std::int64_t level = config.spp_levels[b];
+    OpAttrs attrs;
+    attrs.pool_out = level;
+    const OpId pool = g.add_op(
+        OpKind::kAdaptivePool, "spp_pool_l" + std::to_string(level) + "_b" +
+                                   std::to_string(b),
+        attrs, {prev}, TensorDesc{{channels, level, level}});
+    const OpId flat = g.add_op(
+        OpKind::kFlatten, "spp_flat_b" + std::to_string(b), {}, {pool},
+        TensorDesc{{channels * level * level}});
+    branch_outputs.push_back(flat);
+  }
+  const OpId concat =
+      g.add_op(OpKind::kConcat, "spp_concat", {}, branch_outputs,
+               TensorDesc{{config.spp_features()}});
+
+  std::int64_t features = config.spp_features();
+  OpId head_prev = concat;
+  int fc_index = 0;
+  for (std::int64_t fc : config.fc_sizes) {
+    OpAttrs attrs;
+    attrs.out_features = fc;
+    head_prev = g.add_op(OpKind::kLinear, "fc" + std::to_string(fc_index),
+                         attrs, {head_prev}, TensorDesc{{fc}});
+    head_prev = g.add_op(OpKind::kReLU, "relu_f" + std::to_string(fc_index),
+                         {}, {head_prev}, TensorDesc{{fc}});
+    features = fc;
+    ++fc_index;
+  }
+  (void)features;
+  OpAttrs head_attrs;
+  head_attrs.out_features = config.head_outputs;
+  const OpId head =
+      g.add_op(OpKind::kLinear, "head", head_attrs, {head_prev},
+               TensorDesc{{config.head_outputs}});
+  g.add_op(OpKind::kOutput, "output", {}, {head},
+           TensorDesc{{config.head_outputs}});
+  return g;
+}
+
+}  // namespace dcn::graph

@@ -1,0 +1,16 @@
+// Build an inference graph from an SPP-Net configuration.
+#pragma once
+
+#include "detect/sppnet_config.hpp"
+#include "graph/graph.hpp"
+
+namespace dcn::graph {
+
+/// Construct the inference DAG of `config` for a square input of
+/// `input_size` (per-sample shapes; batch is applied at execution time).
+/// The SPP layer becomes parallel AdaptivePool->Flatten branch chains
+/// converging on a Concat node — the branched block IOS optimizes.
+Graph build_inference_graph(const detect::SppNetConfig& config,
+                            std::int64_t input_size);
+
+}  // namespace dcn::graph

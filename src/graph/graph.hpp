@@ -1,0 +1,55 @@
+// Inference DAG container with topological utilities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/op.hpp"
+
+namespace dcn::graph {
+
+class Graph {
+ public:
+  /// Append a node; id and inputs must reference existing nodes only.
+  OpId add_op(OpKind kind, std::string name, OpAttrs attrs,
+              std::vector<OpId> inputs, TensorDesc output);
+
+  std::size_t size() const { return nodes_.size(); }
+  const OpNode& node(OpId id) const;
+  const std::vector<OpNode>& nodes() const { return nodes_; }
+
+  /// Ids of nodes consuming `id`'s output.
+  std::vector<OpId> successors(OpId id) const;
+
+  /// Nodes in a valid topological order (insertion order is one by
+  /// construction, but this re-derives it and validates the DAG).
+  std::vector<OpId> topological_order() const;
+
+  /// Per-sample tensor description feeding `id` (first input's output; the
+  /// Concat node sums feature dims itself at build time).
+  TensorDesc input_desc(OpId id) const;
+
+  /// Total parameters across all ops.
+  std::int64_t parameter_count() const;
+
+  /// Total per-sample FLOPs.
+  double total_flops() const;
+
+  /// Multi-line human-readable dump.
+  std::string to_string() const;
+
+  /// Graphviz dot output for documentation.
+  std::string to_dot() const;
+
+ private:
+  std::vector<OpNode> nodes_;
+};
+
+/// Structural shape validation: checks that every node's recorded output
+/// descriptor is consistent with its kind, attributes, and inputs (conv
+/// arithmetic, pool arithmetic, flatten/concat element counts, linear
+/// widths). Throws dcn::Error naming the offending node. The builder is
+/// checked by construction; this guards hand-built and deserialized graphs.
+void validate_shapes(const Graph& graph);
+
+}  // namespace dcn::graph

@@ -1,0 +1,103 @@
+#include "graph/op.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dcn::graph {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+      return "Input";
+    case OpKind::kConv2d:
+      return "Conv2d";
+    case OpKind::kMaxPool:
+      return "MaxPool";
+    case OpKind::kAdaptivePool:
+      return "AdaptivePool";
+    case OpKind::kReLU:
+      return "ReLU";
+    case OpKind::kLinear:
+      return "Linear";
+    case OpKind::kFlatten:
+      return "Flatten";
+    case OpKind::kConcat:
+      return "Concat";
+    case OpKind::kOutput:
+      return "Output";
+  }
+  return "Unknown";
+}
+
+std::int64_t TensorDesc::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims) n *= d;
+  return n;
+}
+
+std::string TensorDesc::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i) os << 'x';
+    os << dims[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::int64_t OpNode::parameter_count(const TensorDesc& input_desc) const {
+  switch (kind) {
+    case OpKind::kConv2d: {
+      DCN_CHECK(input_desc.dims.size() == 3) << "conv input must be CHW";
+      const std::int64_t in_c = input_desc.dims[0];
+      return attrs.out_channels * in_c * attrs.kernel * attrs.kernel +
+             attrs.out_channels;
+    }
+    case OpKind::kLinear: {
+      const std::int64_t in_f = input_desc.numel();
+      return attrs.out_features * in_f + attrs.out_features;
+    }
+    default:
+      return 0;
+  }
+}
+
+double OpNode::flops(const TensorDesc& input_desc) const {
+  switch (kind) {
+    case OpKind::kConv2d: {
+      DCN_CHECK(output.dims.size() == 3) << "conv output must be CHW";
+      const std::int64_t in_c = input_desc.dims[0];
+      const double per_output = 2.0 * in_c * attrs.kernel * attrs.kernel;
+      return per_output * static_cast<double>(output.numel());
+    }
+    case OpKind::kLinear:
+      return 2.0 * static_cast<double>(input_desc.numel()) *
+             static_cast<double>(attrs.out_features);
+    case OpKind::kMaxPool:
+      return static_cast<double>(output.numel()) * attrs.kernel * attrs.kernel;
+    case OpKind::kAdaptivePool: {
+      // Each output cell scans roughly (H/out)*(W/out) inputs.
+      const double window =
+          static_cast<double>(input_desc.numel()) /
+          std::max<double>(1.0, static_cast<double>(output.numel()));
+      return static_cast<double>(output.numel()) * window;
+    }
+    case OpKind::kReLU:
+      return static_cast<double>(output.numel());
+    case OpKind::kFlatten:
+    case OpKind::kConcat:
+    case OpKind::kInput:
+    case OpKind::kOutput:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double OpNode::activation_bytes(const TensorDesc& input_desc) const {
+  return 4.0 * (static_cast<double>(input_desc.numel()) +
+                static_cast<double>(output.numel()));
+}
+
+}  // namespace dcn::graph

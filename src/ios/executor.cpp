@@ -1,0 +1,94 @@
+#include "ios/executor.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.hpp"
+#include "simgpu/kernels.hpp"
+
+namespace dcn::ios {
+
+InferenceSession::InferenceSession(const graph::Graph& graph,
+                                   Schedule schedule, simgpu::Device& device)
+    : graph_(graph), schedule_(std::move(schedule)), device_(device) {
+  validate_schedule(graph_, schedule_);
+  kernel_table_ = simgpu::make_kernel_table(graph_);
+  for (const graph::OpNode& node : graph_.nodes()) {
+    if (node.kind == graph::OpKind::kInput) {
+      input_bytes_per_sample_ += node.output.numel() * 4;
+    } else if (node.kind == graph::OpKind::kOutput) {
+      output_bytes_per_sample_ += node.output.numel() * 4;
+    }
+  }
+  DCN_CHECK(input_bytes_per_sample_ > 0) << "graph has no input";
+}
+
+void InferenceSession::initialize() {
+  if (initialized_) return;
+  device_.load_library(static_cast<int>(schedule_.num_kernels()));
+  // Weights are uploaded once and stay resident.
+  const auto weight_bytes =
+      static_cast<std::int64_t>(simgpu::total_weight_bytes(graph_));
+  if (weight_bytes > 0) {
+    device_.malloc(weight_bytes);
+    device_.memcpy_h2d(weight_bytes);
+  }
+  // Activation workspace: two ping-pong buffers of the largest activation.
+  std::int64_t max_activation = 0;
+  for (const graph::OpNode& node : graph_.nodes()) {
+    max_activation = std::max(max_activation, node.output.numel() * 4);
+  }
+  device_.malloc(2 * max_activation * 64);  // sized for batch <= 64
+  for (std::size_t s = 0; s < schedule_.max_concurrency(); ++s) {
+    device_.create_stream();
+  }
+  initialized_ = true;
+}
+
+RunResult InferenceSession::run(std::int64_t batch) {
+  DCN_CHECK(initialized_) << "run before initialize";
+  DCN_CHECK(batch >= 1) << "batch " << batch;
+  const double start = device_.host_time();
+
+  device_.memcpy_h2d(input_bytes_per_sample_ * batch);
+  for (const Stage& stage : schedule_.stages) {
+    std::vector<std::vector<simgpu::KernelDesc>> groups;
+    groups.reserve(stage.groups.size());
+    for (const Group& group : stage.groups) {
+      std::vector<simgpu::KernelDesc> ks;
+      ks.reserve(group.ops.size());
+      for (graph::OpId id : group.ops) {
+        ks.push_back(kernel_table_[static_cast<std::size_t>(id)]);
+      }
+      groups.push_back(std::move(ks));
+    }
+    device_.run_stage(groups, batch);
+  }
+  device_.synchronize();
+  device_.memcpy_d2h(output_bytes_per_sample_ * batch);
+
+  RunResult result;
+  result.latency_seconds = device_.host_time() - start;
+  result.per_image_seconds =
+      result.latency_seconds / static_cast<double>(batch);
+  return result;
+}
+
+double measure_latency(const graph::Graph& graph, const Schedule& schedule,
+                       simgpu::Device& device, std::int64_t batch, int warmup,
+                       int repeats) {
+  DCN_CHECK(repeats >= 1) << "repeats";
+  InferenceSession session(graph, schedule, device);
+  session.initialize();
+  for (int i = 0; i < warmup; ++i) (void)session.run(batch);
+  device.reset_clocks();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    samples.push_back(session.run(batch).latency_seconds);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace dcn::ios

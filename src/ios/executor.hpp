@@ -1,0 +1,58 @@
+// Schedule execution on the simulated device and latency measurement.
+//
+// InferenceSession mirrors a deployed inference server: initialize() loads
+// the kernel library and uploads weights once; run(batch) performs one
+// inference — H2D input copy, the scheduled stages, device synchronize,
+// D2H output copy — and reports the end-to-end virtual latency. The
+// measurement harness (warm-up + repeats) mirrors how IOS and the paper
+// time schedules; the simulator is deterministic so repeats agree exactly,
+// which the tests assert.
+#pragma once
+
+#include <cstdint>
+
+#include "ios/schedule.hpp"
+#include "simgpu/device.hpp"
+
+namespace dcn::ios {
+
+struct RunResult {
+  double latency_seconds = 0.0;
+  /// Latency divided by batch — the paper's "inference efficiency" (§6.4).
+  double per_image_seconds = 0.0;
+};
+
+class InferenceSession {
+ public:
+  /// `graph` and `device` must outlive the session.
+  InferenceSession(const graph::Graph& graph, Schedule schedule,
+                   simgpu::Device& device);
+
+  /// Load library, allocate weights and activation workspace, create the
+  /// streams the widest stage needs. Idempotent.
+  void initialize();
+
+  /// One inference at `batch`. Requires initialize().
+  RunResult run(std::int64_t batch);
+
+  const Schedule& schedule() const { return schedule_; }
+
+ private:
+  const graph::Graph& graph_;
+  Schedule schedule_;
+  simgpu::Device& device_;
+  std::vector<simgpu::KernelDesc> kernel_table_;
+  std::int64_t input_bytes_per_sample_ = 0;
+  std::int64_t output_bytes_per_sample_ = 0;
+  bool initialized_ = false;
+};
+
+/// Warm-up then measure: median of `repeats` runs (deterministic on the
+/// simulator, but the harness keeps the standard shape). Resets the device
+/// clocks first so initialization cost is excluded, as in the paper's
+/// Table 2 / Figure 6 timing.
+double measure_latency(const graph::Graph& graph, const Schedule& schedule,
+                       simgpu::Device& device, std::int64_t batch,
+                       int warmup = 1, int repeats = 3);
+
+}  // namespace dcn::ios

@@ -1,0 +1,31 @@
+// ASCII Gantt rendering of a schedule on the simulated device.
+//
+// Visualizes what the DP decided: one row per concurrent stream, one column
+// band per stage, each kernel drawn proportionally to its modeled duration.
+// The schedule_explorer example prints these; tests assert structural
+// properties (row count = max concurrency, total width tracks latency).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ios/schedule.hpp"
+#include "simgpu/spec.hpp"
+
+namespace dcn::ios {
+
+struct GanttOptions {
+  /// Total character budget for the time axis.
+  int width = 100;
+  std::int64_t batch = 1;
+};
+
+/// Render `schedule` as an ASCII timeline. Each stream row shows kernels as
+/// [name---] blocks scaled to modeled solo durations; stage boundaries are
+/// marked with '|'.
+std::string render_gantt(const graph::Graph& graph,
+                         const simgpu::DeviceSpec& spec,
+                         const Schedule& schedule,
+                         const GanttOptions& options = {});
+
+}  // namespace dcn::ios

@@ -1,0 +1,71 @@
+#include "ios/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dcn::ios {
+
+std::string serialize_schedule(const Schedule& schedule) {
+  std::ostringstream os;
+  os << "schedule v1\n";
+  for (const Stage& stage : schedule.stages) {
+    os << "stage\n";
+    for (const Group& group : stage.groups) {
+      os << "group";
+      for (graph::OpId id : group.ops) os << ' ' << id;
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+Schedule deserialize_schedule(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  DCN_CHECK(std::getline(is, line) && line == "schedule v1")
+      << "bad schedule header '" << line << "'";
+  Schedule schedule;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "stage") {
+      schedule.stages.emplace_back();
+    } else if (keyword == "group") {
+      DCN_CHECK(!schedule.stages.empty()) << "group before any stage";
+      Group group;
+      graph::OpId id;
+      while (ls >> id) {
+        DCN_CHECK(id >= 0) << "negative op id in schedule";
+        group.ops.push_back(id);
+      }
+      DCN_CHECK(!group.ops.empty()) << "empty group line";
+      schedule.stages.back().groups.push_back(std::move(group));
+    } else {
+      throw Error("unknown schedule keyword '" + keyword + "'");
+    }
+  }
+  return schedule;
+}
+
+void save_schedule(const Schedule& schedule, const std::string& path) {
+  std::ofstream os(path);
+  DCN_CHECK(os.good()) << "cannot open " << path;
+  os << serialize_schedule(schedule);
+  DCN_CHECK(os.good()) << "write to " << path << " failed";
+}
+
+Schedule load_schedule(const graph::Graph& graph, const std::string& path) {
+  std::ifstream is(path);
+  DCN_CHECK(is.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  Schedule schedule = deserialize_schedule(buffer.str());
+  validate_schedule(graph, schedule);
+  return schedule;
+}
+
+}  // namespace dcn::ios

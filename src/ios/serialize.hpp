@@ -1,0 +1,31 @@
+// Schedule (de)serialization.
+//
+// IOS persists optimized schedules so the (expensive) DP runs once per
+// model/batch and deployments just load the result. The format is a small
+// line-oriented text grammar:
+//
+//   schedule v1
+//   stage
+//   group 3 5 7     # op ids, executed in order on one stream
+//   group 4 6
+//   stage
+//   group 8
+//
+// Round-trips exactly; load validates against the target graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ios/schedule.hpp"
+
+namespace dcn::ios {
+
+std::string serialize_schedule(const Schedule& schedule);
+Schedule deserialize_schedule(const std::string& text);
+
+/// File variants; load validates the result against `graph`.
+void save_schedule(const Schedule& schedule, const std::string& path);
+Schedule load_schedule(const graph::Graph& graph, const std::string& path);
+
+}  // namespace dcn::ios

@@ -1,0 +1,89 @@
+#include "nas/experiment.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dcn::nas {
+
+std::string serialize_experiment(const TrialDatabase& database) {
+  std::ostringstream os;
+  os << "nas-experiment v1\n";
+  os.precision(17);
+  for (const Trial& t : database.trials()) {
+    os << "trial " << t.index << " conv1 " << t.point.conv1_kernel << " spp "
+       << t.point.spp_first_level << " fc " << t.point.fc_sizes.size();
+    for (std::int64_t w : t.point.fc_sizes) os << ' ' << w;
+    os << " ap " << t.metrics.average_precision << " seq "
+       << t.metrics.sequential_latency << " opt "
+       << t.metrics.optimized_latency << " tput " << t.metrics.throughput
+       << " params " << t.metrics.parameter_count << '\n';
+  }
+  return os.str();
+}
+
+TrialDatabase deserialize_experiment(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  DCN_CHECK(std::getline(is, line) && line == "nas-experiment v1")
+      << "bad experiment header '" << line << "'";
+  TrialDatabase database;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    auto expect = [&](const char* keyword) {
+      std::string word;
+      DCN_CHECK(ls >> word && word == keyword)
+          << "expected '" << keyword << "' in trial line, got '" << word
+          << "'";
+    };
+    Trial t;
+    expect("trial");
+    DCN_CHECK(static_cast<bool>(ls >> t.index)) << "trial index";
+    expect("conv1");
+    DCN_CHECK(static_cast<bool>(ls >> t.point.conv1_kernel)) << "conv1";
+    expect("spp");
+    DCN_CHECK(static_cast<bool>(ls >> t.point.spp_first_level)) << "spp";
+    expect("fc");
+    std::size_t fc_count = 0;
+    DCN_CHECK(static_cast<bool>(ls >> fc_count)) << "fc count";
+    DCN_CHECK(fc_count <= 8) << "implausible fc count " << fc_count;
+    t.point.fc_sizes.resize(fc_count);
+    for (auto& w : t.point.fc_sizes) {
+      DCN_CHECK(static_cast<bool>(ls >> w)) << "fc width";
+    }
+    expect("ap");
+    DCN_CHECK(static_cast<bool>(ls >> t.metrics.average_precision)) << "ap";
+    expect("seq");
+    DCN_CHECK(static_cast<bool>(ls >> t.metrics.sequential_latency))
+        << "seq latency";
+    expect("opt");
+    DCN_CHECK(static_cast<bool>(ls >> t.metrics.optimized_latency))
+        << "opt latency";
+    expect("tput");
+    DCN_CHECK(static_cast<bool>(ls >> t.metrics.throughput)) << "tput";
+    expect("params");
+    DCN_CHECK(static_cast<bool>(ls >> t.metrics.parameter_count))
+        << "params";
+    database.add(std::move(t));
+  }
+  return database;
+}
+
+void save_experiment(const TrialDatabase& database, const std::string& path) {
+  std::ofstream os(path);
+  DCN_CHECK(os.good()) << "cannot open " << path;
+  os << serialize_experiment(database);
+  DCN_CHECK(os.good()) << "write to " << path << " failed";
+}
+
+TrialDatabase load_experiment(const std::string& path) {
+  std::ifstream is(path);
+  DCN_CHECK(is.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return deserialize_experiment(buffer.str());
+}
+
+}  // namespace dcn::nas

@@ -1,0 +1,23 @@
+// Experiment persistence (NNI keeps a trial database per experiment; this
+// is the file-backed equivalent so a NAS run can be resumed, audited, or
+// re-analyzed without re-training).
+//
+// Line-oriented format:
+//   nas-experiment v1
+//   trial <index> conv1 <k> spp <l> fc <n> <w1..wn> ap <v> seq <s> opt <s>
+//         tput <v> params <n>
+#pragma once
+
+#include <string>
+
+#include "nas/trial.hpp"
+
+namespace dcn::nas {
+
+std::string serialize_experiment(const TrialDatabase& database);
+TrialDatabase deserialize_experiment(const std::string& text);
+
+void save_experiment(const TrialDatabase& database, const std::string& path);
+TrialDatabase load_experiment(const std::string& path);
+
+}  // namespace dcn::nas

@@ -1,0 +1,63 @@
+#include "nas/runner.hpp"
+
+#include "core/error.hpp"
+#include "core/logging.hpp"
+#include "graph/builder.hpp"
+#include "ios/executor.hpp"
+#include "ios/scheduler.hpp"
+
+namespace dcn::nas {
+
+TrialMetrics profile_architecture(const detect::SppNetConfig& model,
+                                  const RunnerConfig& config) {
+  const graph::Graph g =
+      graph::build_inference_graph(model, config.input_size);
+
+  TrialMetrics metrics;
+  metrics.parameter_count = model.parameter_count();
+
+  const ios::Schedule sequential = ios::sequential_schedule(g);
+  ios::IosOptions options;
+  options.batch = config.latency_batch;
+  const ios::Schedule optimized =
+      ios::optimize_schedule(g, config.device, options);
+
+  simgpu::Device device_seq(config.device);
+  metrics.sequential_latency = ios::measure_latency(
+      g, sequential, device_seq, config.latency_batch);
+  simgpu::Device device_opt(config.device);
+  metrics.optimized_latency = ios::measure_latency(
+      g, optimized, device_opt, config.latency_batch);
+  DCN_CHECK(metrics.optimized_latency > 0.0) << "zero latency";
+  metrics.throughput =
+      static_cast<double>(config.latency_batch) / metrics.optimized_latency;
+  return metrics;
+}
+
+TrialDatabase run_multi_trial(ExplorationStrategy& strategy,
+                              const Evaluator& evaluator,
+                              const RunnerConfig& config) {
+  DCN_CHECK(config.max_trials >= 1) << "max_trials";
+  TrialDatabase database;
+  for (int i = 0; i < config.max_trials; ++i) {
+    const auto point = strategy.next();
+    if (!point) break;  // space exhausted
+    const detect::SppNetConfig model = materialize(*point);
+
+    Trial trial;
+    trial.index = i;
+    trial.point = *point;
+    trial.metrics = profile_architecture(model, config);
+    trial.metrics.average_precision = evaluator(model);
+    strategy.report(*point, trial.metrics.average_precision);
+    if (config.verbose) {
+      DCN_LOG_INFO << "trial " << i << " [" << point->to_string() << "]: AP "
+                   << trial.metrics.average_precision << ", latency "
+                   << trial.metrics.optimized_latency * 1e3 << " ms";
+    }
+    database.add(std::move(trial));
+  }
+  return database;
+}
+
+}  // namespace dcn::nas

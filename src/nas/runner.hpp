@@ -1,0 +1,43 @@
+// Multi-trial NAS runner (the Retiarii loop of Fig. 5).
+//
+// The runner drives: strategy proposes a coordinate -> the evaluator
+// trains/scores it (accuracy) -> IOS times its optimized schedule on the
+// simulated device (efficiency) -> the trial lands in the database. The
+// evaluator is a callback, mirroring NNI's FunctionalEvaluator, so tests
+// can substitute cheap functional evaluators for real training.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "nas/strategy.hpp"
+#include "nas/trial.hpp"
+#include "simgpu/spec.hpp"
+
+namespace dcn::nas {
+
+/// FunctionalEvaluator: score one materialized architecture. Returns the
+/// prediction accuracy a(n) in [0, 1].
+using Evaluator = std::function<double(const detect::SppNetConfig&)>;
+
+struct RunnerConfig {
+  int max_trials = 10;
+  /// Input resolution used to build inference graphs for timing.
+  std::int64_t input_size = 100;
+  /// Batch size at which efficiency is measured (Table 2 uses 1).
+  std::int64_t latency_batch = 1;
+  simgpu::DeviceSpec device = simgpu::a5500_spec();
+  bool verbose = true;
+};
+
+/// Run up to config.max_trials trials; returns the populated database.
+TrialDatabase run_multi_trial(ExplorationStrategy& strategy,
+                              const Evaluator& evaluator,
+                              const RunnerConfig& config);
+
+/// Compute the efficiency metrics of one architecture (no training):
+/// sequential and IOS-optimized latency plus throughput on the device.
+TrialMetrics profile_architecture(const detect::SppNetConfig& model,
+                                  const RunnerConfig& config);
+
+}  // namespace dcn::nas

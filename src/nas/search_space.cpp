@@ -1,0 +1,105 @@
+#include "nas/search_space.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "nn/spp.hpp"
+
+namespace dcn::nas {
+
+std::string SearchPoint::to_string() const {
+  std::ostringstream os;
+  os << "conv1_k=" << conv1_kernel << " spp_l=" << spp_first_level << " fc=[";
+  for (std::size_t i = 0; i < fc_sizes.size(); ++i) {
+    if (i) os << ',';
+    os << fc_sizes[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::int64_t SearchSpace::size() const {
+  std::int64_t n = static_cast<std::int64_t>(conv1_kernels.size()) *
+                   static_cast<std::int64_t>(spp_first_levels.size());
+  for (int i = 0; i < num_fc_layers; ++i) {
+    n *= static_cast<std::int64_t>(fc_widths.size());
+  }
+  return n;
+}
+
+SearchPoint SearchSpace::sample(Rng& rng) const {
+  DCN_CHECK(!conv1_kernels.empty() && !spp_first_levels.empty() &&
+            !fc_widths.empty())
+      << "empty search space axis";
+  SearchPoint point;
+  point.conv1_kernel = conv1_kernels[rng.index(conv1_kernels.size())];
+  point.spp_first_level =
+      spp_first_levels[rng.index(spp_first_levels.size())];
+  point.fc_sizes.clear();
+  for (int i = 0; i < num_fc_layers; ++i) {
+    point.fc_sizes.push_back(fc_widths[rng.index(fc_widths.size())]);
+  }
+  return point;
+}
+
+std::vector<SearchPoint> SearchSpace::enumerate() const {
+  std::vector<SearchPoint> points;
+  std::vector<std::vector<std::int64_t>> fc_combos{{}};
+  for (int layer = 0; layer < num_fc_layers; ++layer) {
+    std::vector<std::vector<std::int64_t>> next;
+    for (const auto& combo : fc_combos) {
+      for (std::int64_t width : fc_widths) {
+        auto extended = combo;
+        extended.push_back(width);
+        next.push_back(std::move(extended));
+      }
+    }
+    fc_combos = std::move(next);
+  }
+  for (std::int64_t k : conv1_kernels) {
+    for (std::int64_t l : spp_first_levels) {
+      for (const auto& fc : fc_combos) {
+        SearchPoint point;
+        point.conv1_kernel = k;
+        point.spp_first_level = l;
+        point.fc_sizes = fc;
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  return points;
+}
+
+bool SearchSpace::contains(const SearchPoint& point) const {
+  auto has = [](const std::vector<std::int64_t>& axis, std::int64_t v) {
+    return std::find(axis.begin(), axis.end(), v) != axis.end();
+  };
+  if (!has(conv1_kernels, point.conv1_kernel)) return false;
+  if (!has(spp_first_levels, point.spp_first_level)) return false;
+  if (static_cast<int>(point.fc_sizes.size()) != num_fc_layers) return false;
+  for (std::int64_t width : point.fc_sizes) {
+    if (!has(fc_widths, width)) return false;
+  }
+  return true;
+}
+
+detect::SppNetConfig materialize(const SearchPoint& point,
+                                 std::int64_t in_channels) {
+  std::ostringstream os;
+  os << "C_{64," << point.conv1_kernel << ",1}-P_{2,2}-C_{128,3,1}-P_{2,2}"
+     << "-C_{256,3,1}-P_{2,2}-SPP_{";
+  const auto levels = spp_levels_from_first(point.spp_first_level);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i) os << ',';
+    os << levels[i];
+  }
+  os << '}';
+  for (std::int64_t fc : point.fc_sizes) os << "-F_{" << fc << '}';
+  detect::SppNetConfig config = detect::parse_notation(os.str(), in_channels);
+  config.name = point.to_string();
+  return config;
+}
+
+}  // namespace dcn::nas

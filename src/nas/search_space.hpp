@@ -1,0 +1,59 @@
+// The paper's SPP-Net search space (§4.2).
+//
+// Three mutable dimensions over the fixed three-conv trunk:
+//  - feature engineering: first conv's filter size in {1, 3, 5, 7, 9};
+//  - SPP layer: first (finest) pyramid level in {1, 2, 3, 4, 5};
+//  - fully-connected: layer width in {128, 256, ..., 8192} for up to two
+//    FC layers.
+// A SearchPoint is the coordinate tuple; materialize() produces the
+// concrete SppNetConfig the evaluator trains and the scheduler times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detect/sppnet_config.hpp"
+
+namespace dcn {
+class Rng;
+}
+
+namespace dcn::nas {
+
+struct SearchPoint {
+  std::int64_t conv1_kernel = 3;
+  std::int64_t spp_first_level = 4;
+  std::vector<std::int64_t> fc_sizes{1024};
+
+  bool operator==(const SearchPoint& other) const = default;
+  std::string to_string() const;
+};
+
+struct SearchSpace {
+  std::vector<std::int64_t> conv1_kernels{1, 3, 5, 7, 9};
+  std::vector<std::int64_t> spp_first_levels{1, 2, 3, 4, 5};
+  std::vector<std::int64_t> fc_widths{128, 256, 512, 1024, 2048, 4096, 8192};
+  /// Number of fully-connected layers (the paper customizes two; Table 1's
+  /// materialized models use one).
+  int num_fc_layers = 1;
+
+  /// Cardinality of the space.
+  std::int64_t size() const;
+
+  /// Uniform random coordinate.
+  SearchPoint sample(Rng& rng) const;
+
+  /// Every coordinate, in lexicographic order.
+  std::vector<SearchPoint> enumerate() const;
+
+  /// Whether `point` lies in the space.
+  bool contains(const SearchPoint& point) const;
+};
+
+/// Materialize a coordinate into a trainable configuration (fixed trunk:
+/// C64-P-C128-P-C256-P, per Table 1).
+detect::SppNetConfig materialize(const SearchPoint& point,
+                                 std::int64_t in_channels = 4);
+
+}  // namespace dcn::nas

@@ -1,0 +1,56 @@
+#include "nas/selection.hpp"
+
+#include <algorithm>
+
+namespace dcn::nas {
+
+std::optional<Trial> select_constrained(const TrialDatabase& database,
+                                        double accuracy_threshold) {
+  std::optional<Trial> best;
+  for (const Trial& t : database.trials()) {
+    if (t.metrics.average_precision <= accuracy_threshold) continue;
+    if (!best || t.metrics.throughput > best->metrics.throughput) best = t;
+  }
+  return best;
+}
+
+std::optional<Trial> select_latency_budget(const TrialDatabase& database,
+                                           double latency_budget_seconds) {
+  std::optional<Trial> best;
+  for (const Trial& t : database.trials()) {
+    if (t.metrics.optimized_latency >= latency_budget_seconds) continue;
+    if (!best || t.metrics.average_precision >
+                     best->metrics.average_precision) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+std::vector<Trial> pareto_front(const TrialDatabase& database) {
+  std::vector<Trial> front;
+  for (const Trial& candidate : database.trials()) {
+    bool dominated = false;
+    for (const Trial& other : database.trials()) {
+      const bool geq =
+          other.metrics.average_precision >=
+              candidate.metrics.average_precision &&
+          other.metrics.throughput >= candidate.metrics.throughput;
+      const bool gt =
+          other.metrics.average_precision >
+              candidate.metrics.average_precision ||
+          other.metrics.throughput > candidate.metrics.throughput;
+      if (geq && gt) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+  std::sort(front.begin(), front.end(), [](const Trial& a, const Trial& b) {
+    return a.metrics.average_precision > b.metrics.average_precision;
+  });
+  return front;
+}
+
+}  // namespace dcn::nas

@@ -1,0 +1,30 @@
+// Accuracy-constrained efficiency selection (§5.4).
+//
+// The paper converts the dual objective {max a(n), max e(n)} into
+// max e(n) subject to a(n) > A. select_constrained implements exactly
+// that over a trial database; pareto_front exposes the underlying
+// trade-off curve for analysis benches.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nas/trial.hpp"
+
+namespace dcn::nas {
+
+/// The most efficient trial among those with AP strictly above
+/// `accuracy_threshold`; nullopt when none qualifies.
+std::optional<Trial> select_constrained(const TrialDatabase& database,
+                                        double accuracy_threshold);
+
+/// Trials not dominated in the (accuracy, throughput) plane, sorted by
+/// descending accuracy.
+std::vector<Trial> pareto_front(const TrialDatabase& database);
+
+/// The dual formulation: the most accurate trial whose optimized latency
+/// stays under `latency_budget_seconds`; nullopt when none qualifies.
+std::optional<Trial> select_latency_budget(const TrialDatabase& database,
+                                           double latency_budget_seconds);
+
+}  // namespace dcn::nas

@@ -1,0 +1,102 @@
+#include "nas/strategy.hpp"
+
+#include <algorithm>
+
+namespace dcn::nas {
+
+RandomSearchStrategy::RandomSearchStrategy(SearchSpace space,
+                                           std::uint64_t seed)
+    : space_(std::move(space)), rng_(seed) {}
+
+std::optional<SearchPoint> RandomSearchStrategy::next() {
+  if (static_cast<std::int64_t>(tried_.size()) >= space_.size()) {
+    return std::nullopt;
+  }
+  // Rejection-sample an unseen coordinate; the space is small (hundreds),
+  // so this terminates quickly even near exhaustion.
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    SearchPoint point = space_.sample(rng_);
+    if (std::find(tried_.begin(), tried_.end(), point) == tried_.end()) {
+      tried_.push_back(point);
+      return point;
+    }
+  }
+  // Pathological near-exhaustion: fall back to scanning the enumeration.
+  for (const SearchPoint& point : space_.enumerate()) {
+    if (std::find(tried_.begin(), tried_.end(), point) == tried_.end()) {
+      tried_.push_back(point);
+      return point;
+    }
+  }
+  return std::nullopt;
+}
+
+EvolutionStrategy::EvolutionStrategy(SearchSpace space, std::uint64_t seed,
+                                     Options options)
+    : space_(std::move(space)), rng_(seed), options_(options) {}
+
+std::optional<SearchPoint> EvolutionStrategy::next() {
+  SearchPoint point;
+  if (population_.size() + pending_.size() < options_.population) {
+    point = space_.sample(rng_);  // warm-up phase: random exploration
+  } else if (!population_.empty()) {
+    // Tournament selection over the living population, then mutation.
+    const Member* best = nullptr;
+    for (std::size_t t = 0; t < options_.tournament; ++t) {
+      const Member& candidate = population_[rng_.index(population_.size())];
+      if (best == nullptr || candidate.fitness > best->fitness) {
+        best = &candidate;
+      }
+    }
+    point = mutate(best->point);
+  } else {
+    point = space_.sample(rng_);  // all proposals still pending
+  }
+  pending_.push_back(point);
+  return point;
+}
+
+SearchPoint EvolutionStrategy::mutate(const SearchPoint& parent) {
+  SearchPoint child = parent;
+  // Mutate exactly one axis to a different value (retry to guarantee the
+  // child differs from the parent on that axis when possible).
+  const std::size_t num_axes = 2 + child.fc_sizes.size();
+  const std::size_t axis = rng_.index(num_axes);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    if (axis == 0) {
+      child.conv1_kernel =
+          space_.conv1_kernels[rng_.index(space_.conv1_kernels.size())];
+      if (child.conv1_kernel != parent.conv1_kernel) break;
+    } else if (axis == 1) {
+      child.spp_first_level =
+          space_.spp_first_levels[rng_.index(space_.spp_first_levels.size())];
+      if (child.spp_first_level != parent.spp_first_level) break;
+    } else {
+      const std::size_t fc = axis - 2;
+      child.fc_sizes[fc] =
+          space_.fc_widths[rng_.index(space_.fc_widths.size())];
+      if (child.fc_sizes[fc] != parent.fc_sizes[fc]) break;
+    }
+  }
+  return child;
+}
+
+void EvolutionStrategy::report(const SearchPoint& point, double fitness) {
+  auto it = std::find(pending_.begin(), pending_.end(), point);
+  if (it != pending_.end()) pending_.erase(it);
+  population_.push_back({point, fitness});
+  // Regularized: evict the oldest, not the worst.
+  while (population_.size() > options_.population) {
+    population_.erase(population_.begin());
+  }
+}
+
+GridSearchStrategy::GridSearchStrategy(const SearchSpace& space)
+    : points_(space.enumerate()) {}
+
+std::optional<SearchPoint> GridSearchStrategy::next() {
+  if (cursor_ >= points_.size()) return std::nullopt;
+  return points_[cursor_++];
+}
+
+}  // namespace dcn::nas

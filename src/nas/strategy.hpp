@@ -1,0 +1,85 @@
+// Exploration strategies (the Retiarii "multi-trial" strategies the paper
+// uses; §4.2 selects random search).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nas/search_space.hpp"
+
+namespace dcn::nas {
+
+/// Proposes the next coordinate to evaluate; nullopt when exhausted.
+class ExplorationStrategy {
+ public:
+  virtual ~ExplorationStrategy() = default;
+  virtual std::optional<SearchPoint> next() = 0;
+  /// Feedback hook: the runner reports each evaluated point's fitness
+  /// (average precision). Stateless strategies ignore it.
+  virtual void report(const SearchPoint& point, double fitness) {
+    (void)point;
+    (void)fitness;
+  }
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random sampling without repetition (the paper's strategy).
+class RandomSearchStrategy : public ExplorationStrategy {
+ public:
+  RandomSearchStrategy(SearchSpace space, std::uint64_t seed);
+  std::optional<SearchPoint> next() override;
+  std::string name() const override { return "random"; }
+
+ private:
+  SearchSpace space_;
+  Rng rng_;
+  std::vector<SearchPoint> tried_;
+};
+
+/// Regularized evolution (Real et al. 2019): keep a FIFO population;
+/// propose random points until the population fills, then mutate the
+/// fittest member of a random tournament sample. An NNI-style alternative
+/// to pure random search for larger spaces.
+class EvolutionStrategy : public ExplorationStrategy {
+ public:
+  struct Options {
+    std::size_t population = 8;
+    std::size_t tournament = 3;
+  };
+
+  EvolutionStrategy(SearchSpace space, std::uint64_t seed, Options options);
+  EvolutionStrategy(SearchSpace space, std::uint64_t seed)
+      : EvolutionStrategy(std::move(space), seed, Options()) {}
+  std::optional<SearchPoint> next() override;
+  void report(const SearchPoint& point, double fitness) override;
+  std::string name() const override { return "evolution"; }
+
+ private:
+  SearchPoint mutate(const SearchPoint& parent);
+
+  SearchSpace space_;
+  Rng rng_;
+  Options options_;
+  struct Member {
+    SearchPoint point;
+    double fitness = 0.0;
+  };
+  std::vector<Member> population_;  // FIFO: front is oldest
+  std::vector<SearchPoint> pending_;  // proposed, not yet reported
+};
+
+/// Exhaustive lexicographic sweep (oracle for tests and ablations).
+class GridSearchStrategy : public ExplorationStrategy {
+ public:
+  explicit GridSearchStrategy(const SearchSpace& space);
+  std::optional<SearchPoint> next() override;
+  std::string name() const override { return "grid"; }
+
+ private:
+  std::vector<SearchPoint> points_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace dcn::nas

@@ -1,0 +1,59 @@
+#include "nas/trial.hpp"
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "core/table.hpp"
+
+namespace dcn::nas {
+
+void TrialDatabase::add(Trial trial) { trials_.push_back(std::move(trial)); }
+
+const Trial& TrialDatabase::trial(std::size_t i) const {
+  DCN_CHECK(i < trials_.size()) << "trial index " << i;
+  return trials_[i];
+}
+
+std::optional<Trial> TrialDatabase::best_by_accuracy() const {
+  std::optional<Trial> best;
+  for (const Trial& t : trials_) {
+    if (!best ||
+        t.metrics.average_precision > best->metrics.average_precision) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+std::optional<Trial> TrialDatabase::best_by_throughput() const {
+  std::optional<Trial> best;
+  for (const Trial& t : trials_) {
+    if (!best || t.metrics.throughput > best->metrics.throughput) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+std::string TrialDatabase::to_csv() const {
+  CsvWriter csv({"trial", "conv1_kernel", "spp_first_level", "fc_sizes",
+                 "average_precision", "optimized_latency_ms",
+                 "sequential_latency_ms", "throughput_img_s", "parameters"});
+  for (const Trial& t : trials_) {
+    std::string fc;
+    for (std::size_t i = 0; i < t.point.fc_sizes.size(); ++i) {
+      if (i) fc += '|';
+      fc += std::to_string(t.point.fc_sizes[i]);
+    }
+    csv.add_row({std::to_string(t.index),
+                 std::to_string(t.point.conv1_kernel),
+                 std::to_string(t.point.spp_first_level), fc,
+                 format_double(t.metrics.average_precision, 4),
+                 format_double(t.metrics.optimized_latency * 1e3, 4),
+                 format_double(t.metrics.sequential_latency * 1e3, 4),
+                 format_double(t.metrics.throughput, 1),
+                 std::to_string(t.metrics.parameter_count)});
+  }
+  return csv.to_string();
+}
+
+}  // namespace dcn::nas

@@ -1,0 +1,54 @@
+// Trial records and the trial database (the "aggregating and comparing
+// tuning results" half of the paper's NNI workflow).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nas/search_space.hpp"
+
+namespace dcn::nas {
+
+/// The metrics one evaluated architecture produced.
+struct TrialMetrics {
+  double average_precision = 0.0;
+  /// IOS-optimized inference latency at the evaluation batch (seconds).
+  double optimized_latency = 0.0;
+  /// Sequential-schedule latency (seconds).
+  double sequential_latency = 0.0;
+  /// Inference efficiency: images per second through the optimized
+  /// schedule (the objective e(n) of §5.4).
+  double throughput = 0.0;
+  std::int64_t parameter_count = 0;
+};
+
+struct Trial {
+  int index = 0;
+  SearchPoint point;
+  TrialMetrics metrics;
+};
+
+/// Append-only store with ranking and CSV export.
+class TrialDatabase {
+ public:
+  void add(Trial trial);
+
+  std::size_t size() const { return trials_.size(); }
+  const Trial& trial(std::size_t i) const;
+  const std::vector<Trial>& trials() const { return trials_; }
+
+  /// Highest-AP trial (nullopt when empty).
+  std::optional<Trial> best_by_accuracy() const;
+
+  /// Highest-throughput trial (nullopt when empty).
+  std::optional<Trial> best_by_throughput() const;
+
+  /// CSV of all trials (one row each).
+  std::string to_csv() const;
+
+ private:
+  std::vector<Trial> trials_;
+};
+
+}  // namespace dcn::nas

@@ -1,0 +1,61 @@
+#include "nn/activations.hpp"
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace dcn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  has_cached_input_ = true;
+  return relu(input);
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  DCN_CHECK(has_cached_input_) << "ReLU::backward without forward";
+  Tensor grad_input(cached_input_.shape());
+  relu_backward(cached_input_, grad_output, grad_input);
+  return grad_input;
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  DCN_CHECK(input.rank() >= 2) << "Flatten expects rank >= 2";
+  input_shape_ = input.shape();
+  const std::int64_t batch = input.dim(0);
+  return input.reshaped(Shape{batch, input.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  DCN_CHECK(input_shape_.rank() > 0) << "Flatten::backward without forward";
+  return grad_output.reshaped(input_shape_);
+}
+
+Dropout::Dropout(double p, Rng& rng) : p_(p), rng_(&rng) {
+  DCN_CHECK(p >= 0.0 && p < 1.0) << "dropout p must be in [0, 1)";
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!is_training() || p_ == 0.0) {
+    has_mask_ = false;
+    return input;
+  }
+  mask_ = Tensor(input.shape());
+  has_mask_ = true;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  Tensor out(input.shape());
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float m = rng_->bernoulli(p_) ? 0.0f : keep_scale;
+    mask_[i] = m;
+    out[i] = input[i] * m;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!has_mask_) return grad_output;
+  return mul(grad_output, mask_);
+}
+
+}  // namespace dcn

@@ -1,0 +1,49 @@
+// Stateless activation layers.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dcn {
+
+class Rng;
+
+/// Rectified linear unit.
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+  bool has_cached_input_ = false;
+};
+
+/// Reshape NCHW feature maps to [N, C*H*W] (and route gradients back).
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+/// Inverted dropout; identity in eval mode.
+class Dropout : public Module {
+ public:
+  Dropout(double p, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  double p_;
+  Rng* rng_;
+  Tensor mask_;
+  bool has_mask_ = false;
+};
+
+}  // namespace dcn

@@ -1,0 +1,54 @@
+#include "nn/checkpoint.hpp"
+
+#include <map>
+
+#include "core/error.hpp"
+#include "tensor/serialize.hpp"
+
+namespace dcn {
+
+void save_checkpoint(Module& model, const std::string& path) {
+  std::vector<std::pair<std::string, Tensor>> named;
+  for (const ParamRef& p : model.parameters()) {
+    named.emplace_back(p.name, *p.value);
+  }
+  DCN_CHECK(!named.empty()) << "model has no parameters to checkpoint";
+  save_tensors(path, named);
+}
+
+void load_checkpoint(Module& model, const std::string& path) {
+  auto loaded = load_tensors(path);
+  std::map<std::string, Tensor*> by_name;
+  for (auto& [name, tensor] : loaded) {
+    DCN_CHECK(by_name.emplace(name, &tensor).second)
+        << "duplicate parameter '" << name << "' in checkpoint";
+  }
+  const auto params = model.parameters();
+  DCN_CHECK(params.size() == loaded.size())
+      << "checkpoint has " << loaded.size() << " parameters, model expects "
+      << params.size();
+  for (const ParamRef& p : params) {
+    auto it = by_name.find(p.name);
+    DCN_CHECK(it != by_name.end())
+        << "checkpoint lacks parameter '" << p.name << "'";
+    DCN_CHECK(it->second->shape() == p.value->shape())
+        << "parameter '" << p.name << "' shape mismatch: checkpoint "
+        << it->second->shape().to_string() << " vs model "
+        << p.value->shape().to_string();
+    *p.value = *it->second;
+  }
+}
+
+void copy_parameters(Module& source, Module& target) {
+  const auto src = source.parameters();
+  const auto dst = target.parameters();
+  DCN_CHECK(src.size() == dst.size())
+      << "parameter count mismatch: " << src.size() << " vs " << dst.size();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    DCN_CHECK(src[i].value->shape() == dst[i].value->shape())
+        << "parameter '" << src[i].name << "' shape mismatch";
+    *dst[i].value = *src[i].value;
+  }
+}
+
+}  // namespace dcn

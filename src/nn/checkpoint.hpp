@@ -1,0 +1,25 @@
+// Model checkpointing: persist and restore a Module's parameters.
+//
+// Uses the named-tensor container of tensor/serialize; names come from the
+// module's parameter tree, so a checkpoint can only be restored into an
+// architecturally identical model (mismatches throw with the offending
+// parameter name).
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace dcn {
+
+/// Save every parameter of `model` to `path`.
+void save_checkpoint(Module& model, const std::string& path);
+
+/// Restore parameters saved by save_checkpoint. Throws dcn::Error when the
+/// checkpoint and the model disagree (missing/extra/mis-shaped parameters).
+void load_checkpoint(Module& model, const std::string& path);
+
+/// Copy parameters from `source` into `target` (same architecture).
+void copy_parameters(Module& source, Module& target);
+
+}  // namespace dcn

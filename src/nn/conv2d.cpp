@@ -1,0 +1,136 @@
+#include "nn/conv2d.hpp"
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace dcn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel_size, std::int64_t stride,
+               std::int64_t padding, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      stride_(stride),
+      padding_(padding),
+      weight_(Shape{out_channels, in_channels, kernel_size, kernel_size}),
+      bias_(Shape{out_channels}),
+      weight_grad_(weight_.shape()),
+      bias_grad_(bias_.shape()) {
+  DCN_CHECK(in_channels > 0 && out_channels > 0) << "conv channels";
+  DCN_CHECK(kernel_size > 0 && stride > 0 && padding >= 0) << "conv geometry";
+  kaiming_normal(weight_, in_channels * kernel_size * kernel_size, rng);
+  bias_.zero();
+}
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel_size, std::int64_t stride, Rng& rng)
+    : Conv2d(in_channels, out_channels, kernel_size, stride, kernel_size / 2,
+             rng) {}
+
+ConvGeometry Conv2d::geometry(std::int64_t h, std::int64_t w) const {
+  ConvGeometry g;
+  g.channels = in_channels_;
+  g.height = h;
+  g.width = w;
+  g.kernel_h = g.kernel_w = kernel_size_;
+  g.stride_h = g.stride_w = stride_;
+  g.pad_h = g.pad_w = padding_;
+  return g;
+}
+
+std::pair<std::int64_t, std::int64_t> Conv2d::output_hw(std::int64_t h,
+                                                        std::int64_t w) const {
+  const ConvGeometry g = geometry(h, w);
+  return {g.out_h(), g.out_w()};
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  DCN_CHECK(input.rank() == 4) << "Conv2d expects NCHW, got "
+                               << input.shape().to_string();
+  DCN_CHECK(input.dim(1) == in_channels_)
+      << "Conv2d channels " << input.dim(1) << " != " << in_channels_;
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const ConvGeometry g = geometry(h, w);
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  DCN_CHECK(oh > 0 && ow > 0) << "Conv2d output would be empty for input "
+                              << input.shape().to_string();
+  const std::int64_t k = in_channels_ * kernel_size_ * kernel_size_;
+  const std::int64_t ohw = oh * ow;
+
+  Tensor output(Shape{batch, out_channels_, oh, ow});
+  std::vector<float> col(static_cast<std::size_t>(k * ohw));
+  const std::int64_t in_stride = in_channels_ * h * w;
+  const std::int64_t out_stride = out_channels_ * ohw;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    im2col(input.data() + n * in_stride, g, col.data());
+    // output[oc, ohw] = weight[oc, k] * col[k, ohw]
+    matmul(false, false, out_channels_, ohw, k, weight_.data(), col.data(),
+           output.data() + n * out_stride);
+    float* out_n = output.data() + n * out_stride;
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float b = bias_[oc];
+      float* row = out_n + oc * ohw;
+      for (std::int64_t i = 0; i < ohw; ++i) row[i] += b;
+    }
+  }
+  cached_input_ = input;
+  has_cached_input_ = true;
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  DCN_CHECK(has_cached_input_) << "Conv2d::backward without forward";
+  const Tensor& input = cached_input_;
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const ConvGeometry g = geometry(h, w);
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t k = in_channels_ * kernel_size_ * kernel_size_;
+  DCN_CHECK(grad_output.shape() ==
+            Shape({batch, out_channels_, oh, ow}))
+      << "Conv2d grad shape " << grad_output.shape().to_string();
+
+  Tensor grad_input(input.shape());
+  std::vector<float> col(static_cast<std::size_t>(k * ohw));
+  std::vector<float> col_grad(static_cast<std::size_t>(k * ohw));
+  const std::int64_t in_stride = in_channels_ * h * w;
+  const std::int64_t out_stride = out_channels_ * ohw;
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* go = grad_output.data() + n * out_stride;
+    // Recompute the column matrix (cheaper than caching it for the batch).
+    im2col(input.data() + n * in_stride, g, col.data());
+    // grad_w[oc, k] += go[oc, ohw] * col[k, ohw]^T
+    sgemm(false, true, out_channels_, k, ohw, 1.0f, go, ohw, col.data(), ohw,
+          1.0f, weight_grad_.data(), k);
+    // grad_col[k, ohw] = weight[oc, k]^T * go[oc, ohw]
+    sgemm(true, false, k, ohw, out_channels_, 1.0f, weight_.data(), k, go,
+          ohw, 0.0f, col_grad.data(), ohw);
+    col2im(col_grad.data(), g, grad_input.data() + n * in_stride);
+    // grad_b[oc] += sum over spatial of go
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      double acc = 0.0;
+      const float* row = go + oc * ohw;
+      for (std::int64_t i = 0; i < ohw; ++i) acc += row[i];
+      bias_grad_[oc] += static_cast<float>(acc);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2d::parameters() {
+  return {{"weight", &weight_, &weight_grad_},
+          {"bias", &bias_, &bias_grad_}};
+}
+
+}  // namespace dcn

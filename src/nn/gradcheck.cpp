@@ -1,0 +1,119 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace dcn {
+namespace {
+
+// L(x) = 0.5 * ||f(x)||^2, a smooth scalarization whose gradient wrt the
+// layer output is the output itself.
+double canonical_loss(Module& layer, const Tensor& input) {
+  const Tensor out = layer.forward(input);
+  double acc = 0.0;
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += 0.5 * static_cast<double>(out[i]) * out[i];
+  }
+  return acc;
+}
+
+double rel_error(double analytic, double numeric) {
+  const double denom =
+      std::max({1.0, std::abs(analytic), std::abs(numeric)});
+  return std::abs(analytic - numeric) / denom;
+}
+
+}  // namespace
+
+GradCheckResult check_input_gradient(Module& layer, const Tensor& input,
+                                     double eps, double tol, int max_entries,
+                                     std::uint64_t seed) {
+  GradCheckResult result;
+  result.ok = true;
+
+  // Analytic pass.
+  const Tensor out = layer.forward(input);
+  const Tensor analytic = layer.backward(out);
+  DCN_CHECK(analytic.shape() == input.shape())
+      << "backward returned wrong input-grad shape "
+      << analytic.shape().to_string();
+
+  Rng rng(seed);
+  Tensor x = input;
+  const std::int64_t n = input.numel();
+  const int checks = static_cast<int>(
+      std::min<std::int64_t>(n, max_entries));
+  for (int k = 0; k < checks; ++k) {
+    const std::int64_t i =
+        n <= max_entries ? k : rng.uniform_int(0, n - 1);
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(eps);
+    const double lp = canonical_loss(layer, x);
+    x[i] = saved - static_cast<float>(eps);
+    const double lm = canonical_loss(layer, x);
+    x[i] = saved;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    const double err = rel_error(analytic[i], numeric);
+    result.max_rel_error = std::max(result.max_rel_error, err);
+    if (err > tol) {
+      result.ok = false;
+      std::ostringstream os;
+      os << "input grad entry " << i << ": analytic " << analytic[i]
+         << " vs numeric " << numeric << " (rel err " << err << ")";
+      result.detail = os.str();
+      return result;
+    }
+  }
+  return result;
+}
+
+GradCheckResult check_parameter_gradients(Module& layer, const Tensor& input,
+                                          double eps, double tol,
+                                          int max_entries,
+                                          std::uint64_t seed) {
+  GradCheckResult result;
+  result.ok = true;
+
+  layer.zero_grad();
+  const Tensor out = layer.forward(input);
+  (void)layer.backward(out);
+
+  Rng rng(seed);
+  for (ParamRef& p : layer.parameters()) {
+    Tensor& value = *p.value;
+    const Tensor& analytic = *p.grad;
+    const std::int64_t n = value.numel();
+    const int checks = static_cast<int>(
+        std::min<std::int64_t>(n, max_entries));
+    for (int k = 0; k < checks; ++k) {
+      const std::int64_t i =
+          n <= max_entries ? k : rng.uniform_int(0, n - 1);
+      const float saved = value[i];
+      value[i] = saved + static_cast<float>(eps);
+      const double lp = canonical_loss(layer, input);
+      value[i] = saved - static_cast<float>(eps);
+      const double lm = canonical_loss(layer, input);
+      value[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double err = rel_error(analytic[i], numeric);
+      result.max_rel_error = std::max(result.max_rel_error, err);
+      if (err > tol) {
+        result.ok = false;
+        std::ostringstream os;
+        os << "param '" << p.name << "' entry " << i << ": analytic "
+           << analytic[i] << " vs numeric " << numeric << " (rel err " << err
+           << ")";
+        result.detail = os.str();
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dcn

@@ -1,0 +1,38 @@
+// Numerical gradient checking.
+//
+// Validates every layer's analytic backward against central finite
+// differences through an arbitrary scalar loss. Used by the test suite as a
+// property check over random shapes and layer configurations.
+#pragma once
+
+#include <functional>
+
+#include "nn/module.hpp"
+
+namespace dcn {
+
+struct GradCheckResult {
+  bool ok = false;
+  /// Worst relative error observed over all checked entries.
+  double max_rel_error = 0.0;
+  /// Which entry failed (diagnostic).
+  std::string detail;
+};
+
+/// Check dL/d(input) of `layer` at `input` where L = 0.5 * ||f(x)||^2
+/// (a smooth canonical loss). Checks up to `max_entries` randomly chosen
+/// input coordinates with step `eps` and tolerance `tol` on
+/// |analytic - numeric| / max(1, |analytic|, |numeric|).
+GradCheckResult check_input_gradient(Module& layer, const Tensor& input,
+                                     double eps = 1e-3, double tol = 5e-2,
+                                     int max_entries = 64,
+                                     std::uint64_t seed = 42);
+
+/// Same check for every parameter gradient of `layer`.
+GradCheckResult check_parameter_gradients(Module& layer, const Tensor& input,
+                                          double eps = 1e-3,
+                                          double tol = 5e-2,
+                                          int max_entries = 64,
+                                          std::uint64_t seed = 42);
+
+}  // namespace dcn

@@ -1,0 +1,24 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace dcn {
+
+void kaiming_normal(Tensor& weight, std::int64_t fan_in, Rng& rng) {
+  DCN_CHECK(fan_in > 0) << "kaiming fan_in";
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  weight.fill_normal(rng, 0.0f, stddev);
+}
+
+void xavier_uniform(Tensor& weight, std::int64_t fan_in, std::int64_t fan_out,
+                    Rng& rng) {
+  DCN_CHECK(fan_in > 0 && fan_out > 0) << "xavier fans";
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  weight.fill_uniform(rng, -a, a);
+}
+
+}  // namespace dcn

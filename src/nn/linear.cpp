@@ -1,0 +1,66 @@
+#include "nn/linear.hpp"
+
+#include "core/error.hpp"
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace dcn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}),
+      weight_grad_(weight_.shape()),
+      bias_grad_(bias_.shape()) {
+  DCN_CHECK(in_features > 0 && out_features > 0) << "linear features";
+  kaiming_normal(weight_, in_features, rng);
+  bias_.zero();
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  DCN_CHECK(input.rank() == 2) << "Linear expects [N, in], got "
+                               << input.shape().to_string();
+  DCN_CHECK(input.dim(1) == in_features_)
+      << "Linear in_features " << input.dim(1) << " != " << in_features_;
+  const std::int64_t batch = input.dim(0);
+  Tensor output(Shape{batch, out_features_});
+  // y[N, out] = x[N, in] * W[out, in]^T
+  matmul(false, true, batch, out_features_, in_features_, input.data(),
+         weight_.data(), output.data());
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* row = output.data() + n * out_features_;
+    for (std::int64_t o = 0; o < out_features_; ++o) row[o] += bias_[o];
+  }
+  cached_input_ = input;
+  has_cached_input_ = true;
+  return output;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  DCN_CHECK(has_cached_input_) << "Linear::backward without forward";
+  const std::int64_t batch = cached_input_.dim(0);
+  DCN_CHECK(grad_output.shape() == Shape({batch, out_features_}))
+      << "Linear grad shape " << grad_output.shape().to_string();
+  // grad_W[out, in] += go[N, out]^T * x[N, in]
+  sgemm(true, false, out_features_, in_features_, batch, 1.0f,
+        grad_output.data(), out_features_, cached_input_.data(), in_features_,
+        1.0f, weight_grad_.data(), in_features_);
+  // grad_b[out] += column sums of go
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = grad_output.data() + n * out_features_;
+    for (std::int64_t o = 0; o < out_features_; ++o) bias_grad_[o] += row[o];
+  }
+  // grad_x[N, in] = go[N, out] * W[out, in]
+  Tensor grad_input(cached_input_.shape());
+  matmul(false, false, batch, in_features_, out_features_, grad_output.data(),
+         weight_.data(), grad_input.data());
+  return grad_input;
+}
+
+std::vector<ParamRef> Linear::parameters() {
+  return {{"weight", &weight_, &weight_grad_},
+          {"bias", &bias_, &bias_grad_}};
+}
+
+}  // namespace dcn

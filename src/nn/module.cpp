@@ -1,0 +1,17 @@
+#include "nn/module.hpp"
+
+namespace dcn {
+
+void Module::zero_grad() {
+  for (ParamRef& p : parameters()) {
+    if (p.grad != nullptr) p.grad->zero();
+  }
+}
+
+std::int64_t Module::num_parameters() {
+  std::int64_t n = 0;
+  for (const ParamRef& p : parameters()) n += p.value->numel();
+  return n;
+}
+
+}  // namespace dcn

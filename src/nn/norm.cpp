@@ -1,0 +1,251 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dcn {
+
+AvgPool2d::AvgPool2d(std::int64_t kernel_size, std::int64_t stride)
+    : kernel_size_(kernel_size), stride_(stride) {
+  DCN_CHECK(kernel_size > 0 && stride > 0) << "avg pool geometry";
+}
+
+Tensor AvgPool2d::forward(const Tensor& input) {
+  DCN_CHECK(input.rank() == 4) << "AvgPool2d expects NCHW";
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t channels = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t oh = (h - kernel_size_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_size_) / stride_ + 1;
+  DCN_CHECK(oh > 0 && ow > 0) << "AvgPool2d output empty";
+  input_shape_ = input.shape();
+
+  Tensor output(Shape{batch, channels, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel_size_ * kernel_size_);
+  std::int64_t out_idx = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float* plane = input.data() + (n * channels + c) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float acc = 0.0f;
+          for (std::int64_t ky = 0; ky < kernel_size_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_size_; ++kx) {
+              acc += plane[(oy * stride_ + ky) * w + (ox * stride_ + kx)];
+            }
+          }
+          output[out_idx] = acc * inv;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  DCN_CHECK(input_shape_.rank() == 4) << "AvgPool2d::backward without forward";
+  const std::int64_t batch = input_shape_.dim(0);
+  const std::int64_t channels = input_shape_.dim(1);
+  const std::int64_t h = input_shape_.dim(2);
+  const std::int64_t w = input_shape_.dim(3);
+  const std::int64_t oh = (h - kernel_size_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_size_) / stride_ + 1;
+  DCN_CHECK(grad_output.shape() == Shape({batch, channels, oh, ow}))
+      << "AvgPool2d grad shape";
+
+  Tensor grad_input(input_shape_);
+  const float inv = 1.0f / static_cast<float>(kernel_size_ * kernel_size_);
+  std::int64_t out_idx = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      float* plane = grad_input.data() + (n * channels + c) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          const float g = grad_output[out_idx] * inv;
+          for (std::int64_t ky = 0; ky < kernel_size_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_size_; ++kx) {
+              plane[(oy * stride_ + ky) * w + (ox * stride_ + kx)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+LeakyReLU::LeakyReLU(float negative_slope) : slope_(negative_slope) {
+  DCN_CHECK(negative_slope >= 0.0f && negative_slope < 1.0f)
+      << "leaky slope " << negative_slope;
+}
+
+Tensor LeakyReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  has_cached_input_ = true;
+  Tensor out(input.shape());
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = input[i] > 0.0f ? input[i] : slope_ * input[i];
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  DCN_CHECK(has_cached_input_) << "LeakyReLU::backward without forward";
+  DCN_CHECK(grad_output.shape() == cached_input_.shape())
+      << "LeakyReLU grad shape";
+  Tensor grad_input(cached_input_.shape());
+  const std::int64_t n = grad_output.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    grad_input[i] =
+        cached_input_[i] > 0.0f ? grad_output[i] : slope_ * grad_output[i];
+  }
+  return grad_input;
+}
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, double momentum,
+                         double epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Shape{channels}, 1.0f),
+      beta_(Shape{channels}),
+      gamma_grad_(Shape{channels}),
+      beta_grad_(Shape{channels}),
+      running_mean_(Shape{channels}),
+      running_var_(Shape{channels}, 1.0f) {
+  DCN_CHECK(channels > 0) << "batchnorm channels";
+  DCN_CHECK(momentum > 0.0 && momentum <= 1.0) << "batchnorm momentum";
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  DCN_CHECK(input.rank() == 4 && input.dim(1) == channels_)
+      << "BatchNorm2d expects NCHW with " << channels_ << " channels, got "
+      << input.shape().to_string();
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t per_channel = batch * h * w;
+  DCN_CHECK(per_channel > 0) << "empty batchnorm input";
+
+  Tensor mean(Shape{channels_});
+  Tensor inv_std(Shape{channels_});
+  if (is_training()) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      double acc = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* plane = input.data() + (n * channels_ + c) * h * w;
+        for (std::int64_t i = 0; i < h * w; ++i) acc += plane[i];
+      }
+      const double mu = acc / per_channel;
+      double var_acc = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* plane = input.data() + (n * channels_ + c) * h * w;
+        for (std::int64_t i = 0; i < h * w; ++i) {
+          const double d = plane[i] - mu;
+          var_acc += d * d;
+        }
+      }
+      const double var = var_acc / per_channel;
+      mean[c] = static_cast<float>(mu);
+      inv_std[c] = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+      running_mean_[c] = static_cast<float>(
+          (1.0 - momentum_) * running_mean_[c] + momentum_ * mu);
+      running_var_[c] = static_cast<float>(
+          (1.0 - momentum_) * running_var_[c] + momentum_ * var);
+    }
+  } else {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      mean[c] = running_mean_[c];
+      inv_std[c] = static_cast<float>(
+          1.0 / std::sqrt(static_cast<double>(running_var_[c]) + epsilon_));
+    }
+  }
+
+  Tensor normalized(input.shape());
+  Tensor output(input.shape());
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* src = input.data() + (n * channels_ + c) * h * w;
+      float* nrm = normalized.data() + (n * channels_ + c) * h * w;
+      float* out = output.data() + (n * channels_ + c) * h * w;
+      const float mu = mean[c];
+      const float is = inv_std[c];
+      const float g = gamma_[c];
+      const float b = beta_[c];
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        nrm[i] = (src[i] - mu) * is;
+        out[i] = g * nrm[i] + b;
+      }
+    }
+  }
+  cached_input_ = input;
+  cached_normalized_ = normalized;
+  batch_mean_ = mean;
+  batch_inv_std_ = inv_std;
+  has_cache_ = true;
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  DCN_CHECK(has_cache_) << "BatchNorm2d::backward without forward";
+  DCN_CHECK(grad_output.shape() == cached_input_.shape())
+      << "BatchNorm2d grad shape";
+  const std::int64_t batch = cached_input_.dim(0);
+  const std::int64_t h = cached_input_.dim(2);
+  const std::int64_t w = cached_input_.dim(3);
+  const std::int64_t m = batch * h * w;
+
+  Tensor grad_input(cached_input_.shape());
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Accumulate per-channel reductions.
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * h * w;
+      const float* xh =
+          cached_normalized_.data() + (n * channels_ + c) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    gamma_grad_[c] += static_cast<float>(sum_dy_xhat);
+    beta_grad_[c] += static_cast<float>(sum_dy);
+
+    if (is_training()) {
+      // Full batch-statistics gradient:
+      // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - xhat * sum(dy*xhat))
+      const double scale =
+          static_cast<double>(gamma_[c]) * batch_inv_std_[c] / m;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* dy = grad_output.data() + (n * channels_ + c) * h * w;
+        const float* xh =
+            cached_normalized_.data() + (n * channels_ + c) * h * w;
+        float* dx = grad_input.data() + (n * channels_ + c) * h * w;
+        for (std::int64_t i = 0; i < h * w; ++i) {
+          dx[i] = static_cast<float>(
+              scale * (m * static_cast<double>(dy[i]) - sum_dy -
+                       static_cast<double>(xh[i]) * sum_dy_xhat));
+        }
+      }
+    } else {
+      // Eval mode: running stats are constants.
+      const float scale = gamma_[c] * batch_inv_std_[c];
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* dy = grad_output.data() + (n * channels_ + c) * h * w;
+        float* dx = grad_input.data() + (n * channels_ + c) * h * w;
+        for (std::int64_t i = 0; i < h * w; ++i) dx[i] = scale * dy[i];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> BatchNorm2d::parameters() {
+  return {{"gamma", &gamma_, &gamma_grad_}, {"beta", &beta_, &beta_grad_}};
+}
+
+}  // namespace dcn

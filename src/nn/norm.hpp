@@ -1,0 +1,79 @@
+// Additional layers: average pooling, LeakyReLU, and batch normalization.
+//
+// These extend the search space beyond the paper's exact Table-1 trunk
+// (max-pool + ReLU); the NAS ablations and tests use them to check that
+// the framework is not hard-wired to one operator set.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dcn {
+
+/// Average pooling with square kernel and stride over NCHW input.
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d(std::int64_t kernel_size, std::int64_t stride);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  std::int64_t kernel_size_;
+  std::int64_t stride_;
+  Shape input_shape_;
+};
+
+/// LeakyReLU: x for x > 0, slope * x otherwise.
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "LeakyReLU"; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+  bool has_cached_input_ = false;
+};
+
+/// Batch normalization over the channel axis of NCHW input (BatchNorm2d).
+/// Training mode normalizes with batch statistics and updates running
+/// estimates; eval mode uses the running estimates.
+class BatchNorm2d : public Module {
+ public:
+  BatchNorm2d(std::int64_t channels, double momentum = 0.1,
+              double epsilon = 1e-5);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  std::string name() const override { return "BatchNorm2d"; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  double momentum_;
+  double epsilon_;
+  Tensor gamma_;
+  Tensor beta_;
+  Tensor gamma_grad_;
+  Tensor beta_grad_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Forward cache for backward.
+  Tensor cached_input_;
+  Tensor cached_normalized_;
+  Tensor batch_mean_;
+  Tensor batch_inv_std_;
+  bool has_cache_ = false;
+};
+
+}  // namespace dcn

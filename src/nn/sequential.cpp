@@ -1,0 +1,49 @@
+#include "nn/sequential.hpp"
+
+#include "core/error.hpp"
+
+namespace dcn {
+
+Module& Sequential::add(std::unique_ptr<Module> layer) {
+  DCN_CHECK(layer != nullptr) << "null layer";
+  layers_.push_back(std::move(layer));
+  return *layers_.back();
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> Sequential::parameters() {
+  std::vector<ParamRef> params;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (ParamRef p : layers_[i]->parameters()) {
+      p.name = "layer" + std::to_string(i) + "." + layers_[i]->name() + "." +
+               p.name;
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+Module& Sequential::layer(std::size_t i) {
+  DCN_CHECK(i < layers_.size()) << "layer index " << i;
+  return *layers_[i];
+}
+
+}  // namespace dcn

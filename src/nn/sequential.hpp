@@ -1,0 +1,40 @@
+// Sequential container.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dcn {
+
+/// Runs child modules in order; backward replays them in reverse.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns a reference to it for configuration.
+  Module& add(std::unique_ptr<Module> layer);
+
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto layer = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  std::string name() const override { return "Sequential"; }
+  void set_training(bool training) override;
+
+  std::size_t size() const { return layers_.size(); }
+  Module& layer(std::size_t i);
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace dcn

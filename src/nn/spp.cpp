@@ -1,0 +1,81 @@
+#include "nn/spp.hpp"
+
+#include "core/error.hpp"
+
+namespace dcn {
+
+std::vector<std::int64_t> spp_levels_from_first(std::int64_t first_level) {
+  DCN_CHECK(first_level >= 1) << "SPP first level must be >= 1";
+  std::vector<std::int64_t> levels{first_level};
+  if (first_level > 2) levels.push_back(2);
+  if (first_level > 1) levels.push_back(1);
+  return levels;
+}
+
+SpatialPyramidPool::SpatialPyramidPool(std::vector<std::int64_t> levels)
+    : levels_(std::move(levels)) {
+  DCN_CHECK(!levels_.empty()) << "SPP needs at least one pyramid level";
+  for (std::int64_t l : levels_) {
+    DCN_CHECK(l >= 1) << "SPP level " << l << " must be >= 1";
+    pools_.push_back(std::make_unique<AdaptiveMaxPool2d>(l, l));
+  }
+}
+
+std::int64_t SpatialPyramidPool::features_per_channel() const {
+  std::int64_t n = 0;
+  for (std::int64_t l : levels_) n += l * l;
+  return n;
+}
+
+Tensor SpatialPyramidPool::forward(const Tensor& input) {
+  DCN_CHECK(input.rank() == 4) << "SPP expects NCHW, got "
+                               << input.shape().to_string();
+  input_shape_ = input.shape();
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t channels = input.dim(1);
+
+  Tensor output(Shape{batch, output_features(channels)});
+  std::int64_t offset = 0;
+  for (std::size_t b = 0; b < pools_.size(); ++b) {
+    const Tensor pooled = pools_[b]->forward(input);  // [N, C, l, l]
+    const std::int64_t feat = channels * levels_[b] * levels_[b];
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* src = pooled.data() + n * feat;
+      float* dst = output.data() + n * output_features(channels) + offset;
+      for (std::int64_t i = 0; i < feat; ++i) dst[i] = src[i];
+    }
+    offset += feat;
+  }
+  return output;
+}
+
+Tensor SpatialPyramidPool::backward(const Tensor& grad_output) {
+  DCN_CHECK(input_shape_.rank() == 4) << "SPP::backward without forward";
+  const std::int64_t batch = input_shape_.dim(0);
+  const std::int64_t channels = input_shape_.dim(1);
+  DCN_CHECK(grad_output.shape() ==
+            Shape({batch, output_features(channels)}))
+      << "SPP grad shape " << grad_output.shape().to_string();
+
+  Tensor grad_input(input_shape_);
+  std::int64_t offset = 0;
+  for (std::size_t b = 0; b < pools_.size(); ++b) {
+    const std::int64_t l = levels_[b];
+    const std::int64_t feat = channels * l * l;
+    Tensor branch_grad(Shape{batch, channels, l, l});
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* src =
+          grad_output.data() + n * output_features(channels) + offset;
+      float* dst = branch_grad.data() + n * feat;
+      for (std::int64_t i = 0; i < feat; ++i) dst[i] = src[i];
+    }
+    const Tensor gi = pools_[b]->backward(branch_grad);
+    for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+      grad_input[i] += gi[i];
+    }
+    offset += feat;
+  }
+  return grad_input;
+}
+
+}  // namespace dcn

@@ -1,0 +1,70 @@
+// Profiling event taxonomy.
+//
+// Mirrors the three Nsight Systems views the paper uses (§7): CUDA API
+// usage, CUDA memory operations, and CUDA kernel activity. The simulated
+// device emits one Span per API call / kernel / memop on its virtual
+// timeline; reports aggregate them exactly like `nsys profile --stats=true`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcn::profiler {
+
+/// Host-side driver/runtime API calls (the Fig. 8 categories).
+enum class ApiKind {
+  kLibraryLoadData,    // cuLibraryLoadData
+  kMemAlloc,           // cudaMalloc
+  kMemFree,            // cudaFree
+  kMemcpyH2D,          // cudaMemcpy host->device
+  kMemcpyD2H,          // cudaMemcpy device->host
+  kLaunchKernel,       // cudaLaunchKernel
+  kStreamCreate,       // cudaStreamCreate
+  kDeviceSynchronize,  // cudaDeviceSynchronize
+};
+
+const char* api_kind_name(ApiKind kind);
+
+/// Device kernel categories (the Table-3 operator classes).
+enum class KernelCategory {
+  kMatMul,       // fully-connected layers
+  kConv,         // convolution layers
+  kPooling,      // max / adaptive pooling (incl. the SPP branches)
+  kElementwise,  // activations
+  kMemory,       // concat / flatten data movement
+};
+
+const char* kernel_category_name(KernelCategory category);
+
+/// Device-side memory operation categories (the Fig. 7 view).
+enum class MemopKind {
+  kH2D,
+  kD2H,
+  kDeviceToDevice,
+};
+
+const char* memop_kind_name(MemopKind kind);
+
+/// One timed span on the virtual timeline (seconds).
+struct Span {
+  double start = 0.0;
+  double duration = 0.0;
+  std::string name;
+  double end() const { return start + duration; }
+};
+
+struct ApiSpan : Span {
+  ApiKind kind = ApiKind::kLaunchKernel;
+};
+
+struct KernelSpan : Span {
+  KernelCategory category = KernelCategory::kConv;
+  std::int64_t batch = 1;
+};
+
+struct MemopSpan : Span {
+  MemopKind kind = MemopKind::kH2D;
+  std::int64_t bytes = 0;
+};
+
+}  // namespace dcn::profiler

@@ -1,0 +1,102 @@
+#include "profiler/recorder.hpp"
+
+#include "core/error.hpp"
+
+namespace dcn::profiler {
+
+const char* api_kind_name(ApiKind kind) {
+  switch (kind) {
+    case ApiKind::kLibraryLoadData:
+      return "cuLibraryLoadData";
+    case ApiKind::kMemAlloc:
+      return "cudaMalloc";
+    case ApiKind::kMemFree:
+      return "cudaFree";
+    case ApiKind::kMemcpyH2D:
+      return "cudaMemcpyHtoD";
+    case ApiKind::kMemcpyD2H:
+      return "cudaMemcpyDtoH";
+    case ApiKind::kLaunchKernel:
+      return "cudaLaunchKernel";
+    case ApiKind::kStreamCreate:
+      return "cudaStreamCreate";
+    case ApiKind::kDeviceSynchronize:
+      return "cudaDeviceSynchronize";
+  }
+  return "unknown";
+}
+
+const char* kernel_category_name(KernelCategory category) {
+  switch (category) {
+    case KernelCategory::kMatMul:
+      return "Matrix Multiplication";
+    case KernelCategory::kConv:
+      return "Conv";
+    case KernelCategory::kPooling:
+      return "Pooling";
+    case KernelCategory::kElementwise:
+      return "Elementwise";
+    case KernelCategory::kMemory:
+      return "Memory";
+  }
+  return "unknown";
+}
+
+const char* memop_kind_name(MemopKind kind) {
+  switch (kind) {
+    case MemopKind::kH2D:
+      return "HtoD";
+    case MemopKind::kD2H:
+      return "DtoH";
+    case MemopKind::kDeviceToDevice:
+      return "DtoD";
+  }
+  return "unknown";
+}
+
+void Recorder::record_api(ApiKind kind, std::string name, double start,
+                          double duration) {
+  if (!enabled_) return;
+  DCN_DCHECK(duration >= 0.0) << "negative API duration";
+  ApiSpan span;
+  span.kind = kind;
+  span.name = std::move(name);
+  span.start = start;
+  span.duration = duration;
+  api_spans_.push_back(std::move(span));
+}
+
+void Recorder::record_kernel(KernelCategory category, std::string name,
+                             double start, double duration,
+                             std::int64_t batch) {
+  if (!enabled_) return;
+  DCN_DCHECK(duration >= 0.0) << "negative kernel duration";
+  KernelSpan span;
+  span.category = category;
+  span.name = std::move(name);
+  span.start = start;
+  span.duration = duration;
+  span.batch = batch;
+  kernel_spans_.push_back(std::move(span));
+}
+
+void Recorder::record_memop(MemopKind kind, std::string name, double start,
+                            double duration, std::int64_t bytes) {
+  if (!enabled_) return;
+  DCN_DCHECK(duration >= 0.0) << "negative memop duration";
+  MemopSpan span;
+  span.kind = kind;
+  span.name = std::move(name);
+  span.start = start;
+  span.duration = duration;
+  span.bytes = bytes;
+  memop_spans_.push_back(std::move(span));
+}
+
+void Recorder::clear() {
+  api_spans_.clear();
+  kernel_spans_.clear();
+  memop_spans_.clear();
+}
+
+}  // namespace dcn::profiler

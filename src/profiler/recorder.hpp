@@ -1,0 +1,40 @@
+// Span recorder: the nsys-equivalent capture buffer.
+#pragma once
+
+#include <vector>
+
+#include "profiler/events.hpp"
+
+namespace dcn::profiler {
+
+/// Collects API, kernel, and memop spans emitted by the simulated device.
+/// Recording can be toggled so warm-up runs are excluded, mirroring how the
+/// paper profiles steady-state inference.
+class Recorder {
+ public:
+  void record_api(ApiKind kind, std::string name, double start,
+                  double duration);
+  void record_kernel(KernelCategory category, std::string name, double start,
+                     double duration, std::int64_t batch);
+  void record_memop(MemopKind kind, std::string name, double start,
+                    double duration, std::int64_t bytes);
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void clear();
+
+  const std::vector<ApiSpan>& api_spans() const { return api_spans_; }
+  const std::vector<KernelSpan>& kernel_spans() const {
+    return kernel_spans_;
+  }
+  const std::vector<MemopSpan>& memop_spans() const { return memop_spans_; }
+
+ private:
+  bool enabled_ = true;
+  std::vector<ApiSpan> api_spans_;
+  std::vector<KernelSpan> kernel_spans_;
+  std::vector<MemopSpan> memop_spans_;
+};
+
+}  // namespace dcn::profiler

@@ -1,0 +1,135 @@
+#include "profiler/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/table.hpp"
+
+namespace dcn::profiler {
+
+std::vector<ApiUsageRow> api_usage(const Recorder& recorder) {
+  std::map<ApiKind, ApiUsageRow> rows;
+  double total = 0.0;
+  for (const ApiSpan& span : recorder.api_spans()) {
+    ApiUsageRow& row = rows[span.kind];
+    row.kind = span.kind;
+    ++row.calls;
+    row.total_seconds += span.duration;
+    total += span.duration;
+  }
+  std::vector<ApiUsageRow> out;
+  out.reserve(rows.size());
+  for (auto& [kind, row] : rows) {
+    row.share = total > 0.0 ? row.total_seconds / total : 0.0;
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ApiUsageRow& a, const ApiUsageRow& b) {
+              return a.total_seconds > b.total_seconds;
+            });
+  return out;
+}
+
+std::vector<KernelUsageRow> kernel_usage(const Recorder& recorder) {
+  std::map<KernelCategory, KernelUsageRow> rows;
+  double total = 0.0;
+  for (const KernelSpan& span : recorder.kernel_spans()) {
+    KernelUsageRow& row = rows[span.category];
+    row.category = span.category;
+    ++row.launches;
+    row.total_seconds += span.duration;
+    total += span.duration;
+  }
+  std::vector<KernelUsageRow> out;
+  out.reserve(rows.size());
+  for (auto& [category, row] : rows) {
+    row.share = total > 0.0 ? row.total_seconds / total : 0.0;
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KernelUsageRow& a, const KernelUsageRow& b) {
+              return a.total_seconds > b.total_seconds;
+            });
+  return out;
+}
+
+namespace {
+
+MemopSummary summarize(const std::vector<MemopSpan>& spans,
+                       const MemopKind* filter) {
+  MemopSummary summary;
+  for (const MemopSpan& span : spans) {
+    if (filter != nullptr && span.kind != *filter) continue;
+    ++summary.count;
+    summary.total_bytes += span.bytes;
+    summary.total_seconds += span.duration;
+  }
+  summary.mean_seconds =
+      summary.count > 0 ? summary.total_seconds / summary.count : 0.0;
+  return summary;
+}
+
+}  // namespace
+
+MemopSummary memop_summary(const Recorder& recorder) {
+  return summarize(recorder.memop_spans(), nullptr);
+}
+
+MemopSummary memop_summary(const Recorder& recorder, MemopKind kind) {
+  return summarize(recorder.memop_spans(), &kind);
+}
+
+double api_share(const Recorder& recorder, ApiKind kind) {
+  for (const ApiUsageRow& row : api_usage(recorder)) {
+    if (row.kind == kind) return row.share;
+  }
+  return 0.0;
+}
+
+double kernel_share(const Recorder& recorder, KernelCategory category) {
+  for (const KernelUsageRow& row : kernel_usage(recorder)) {
+    if (row.category == category) return row.share;
+  }
+  return 0.0;
+}
+
+std::string render_report(const Recorder& recorder) {
+  std::ostringstream os;
+
+  os << "CUDA API Statistics:\n";
+  TextTable api_table({"Time (%)", "Total Time (us)", "Calls", "Name"});
+  for (const ApiUsageRow& row : api_usage(recorder)) {
+    api_table.add_row({format_percent(row.share),
+                       format_double(row.total_seconds * 1e6, 1),
+                       std::to_string(row.calls), api_kind_name(row.kind)});
+  }
+  os << api_table.to_string() << '\n';
+
+  os << "CUDA Kernel Statistics:\n";
+  TextTable kernel_table(
+      {"Time (%)", "Total Time (us)", "Launches", "Category"});
+  for (const KernelUsageRow& row : kernel_usage(recorder)) {
+    kernel_table.add_row({format_percent(row.share),
+                          format_double(row.total_seconds * 1e6, 1),
+                          std::to_string(row.launches),
+                          kernel_category_name(row.category)});
+  }
+  os << kernel_table.to_string() << '\n';
+
+  os << "CUDA Memory Operation Statistics:\n";
+  TextTable memop_table(
+      {"Kind", "Count", "Total Bytes", "Total Time (us)", "Avg Time (ns)"});
+  for (MemopKind kind :
+       {MemopKind::kH2D, MemopKind::kD2H, MemopKind::kDeviceToDevice}) {
+    const MemopSummary s = memop_summary(recorder, kind);
+    if (s.count == 0) continue;
+    memop_table.add_row({memop_kind_name(kind), std::to_string(s.count),
+                         std::to_string(s.total_bytes),
+                         format_double(s.total_seconds * 1e6, 1),
+                         format_double(s.mean_seconds * 1e9, 0)});
+  }
+  os << memop_table.to_string();
+  return os.str();
+}
+
+}  // namespace dcn::profiler

@@ -1,0 +1,58 @@
+// nsys-style aggregate reports over recorded spans.
+//
+// Three views, matching the paper's §7 analysis:
+//  - API usage summary (Fig. 8): time share per CUDA API.
+//  - Memory-operation summary (Fig. 7): count / total / average memop time.
+//  - Kernel summary (Table 3): time share per operator category.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profiler/recorder.hpp"
+
+namespace dcn::profiler {
+
+struct ApiUsageRow {
+  ApiKind kind = ApiKind::kLaunchKernel;
+  std::int64_t calls = 0;
+  double total_seconds = 0.0;
+  double share = 0.0;  // fraction of total API time
+};
+
+struct KernelUsageRow {
+  KernelCategory category = KernelCategory::kConv;
+  std::int64_t launches = 0;
+  double total_seconds = 0.0;
+  double share = 0.0;  // fraction of total kernel time
+};
+
+struct MemopSummary {
+  std::int64_t count = 0;
+  std::int64_t total_bytes = 0;
+  double total_seconds = 0.0;
+  /// Average duration of one memory operation (the Fig. 7 metric).
+  double mean_seconds = 0.0;
+};
+
+/// API-time shares sorted descending (Fig. 8 rows).
+std::vector<ApiUsageRow> api_usage(const Recorder& recorder);
+
+/// Kernel-time shares per category (Table 3 rows).
+std::vector<KernelUsageRow> kernel_usage(const Recorder& recorder);
+
+/// Memory-operation statistics, optionally filtered by kind.
+MemopSummary memop_summary(const Recorder& recorder);
+MemopSummary memop_summary(const Recorder& recorder, MemopKind kind);
+
+/// Share of total API time held by one API (0 when nothing recorded).
+double api_share(const Recorder& recorder, ApiKind kind);
+
+/// Share of total kernel time held by one category.
+double kernel_share(const Recorder& recorder, KernelCategory category);
+
+/// Render the full three-view report as text (the `--stats=true` analog).
+std::string render_report(const Recorder& recorder);
+
+}  // namespace dcn::profiler

@@ -1,0 +1,79 @@
+#include "profiler/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dcn::profiler {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+void emit_event(std::ostringstream& os, bool& first, const std::string& name,
+                const char* category, int tid, double start_s,
+                double duration_s, const std::string& args_json) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\": \"" << json_escape(name) << "\", \"cat\": \""
+     << category << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+     << ", \"ts\": " << start_s * 1e6 << ", \"dur\": " << duration_s * 1e6;
+  if (!args_json.empty()) os << ", \"args\": " << args_json;
+  os << '}';
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Recorder& recorder) {
+  std::ostringstream os;
+  os << "{\n\"traceEvents\": [\n";
+  bool first = true;
+  for (const ApiSpan& span : recorder.api_spans()) {
+    emit_event(os, first, api_kind_name(span.kind), "cuda_api", 0, span.start,
+               span.duration, "{\"call\": \"" + json_escape(span.name) + "\"}");
+  }
+  for (const KernelSpan& span : recorder.kernel_spans()) {
+    std::ostringstream args;
+    args << "{\"category\": \"" << kernel_category_name(span.category)
+         << "\", \"batch\": " << span.batch << '}';
+    emit_event(os, first, span.name, "kernel", 1, span.start, span.duration,
+               args.str());
+  }
+  for (const MemopSpan& span : recorder.memop_spans()) {
+    std::ostringstream args;
+    args << "{\"kind\": \"" << memop_kind_name(span.kind)
+         << "\", \"bytes\": " << span.bytes << '}';
+    emit_event(os, first, span.name, "memop", 2, span.start, span.duration,
+               args.str());
+  }
+  os << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const Recorder& recorder, const std::string& path) {
+  std::ofstream out(path);
+  DCN_CHECK(out.good()) << "cannot open " << path;
+  out << to_chrome_trace(recorder);
+  DCN_CHECK(out.good()) << "write to " << path << " failed";
+}
+
+}  // namespace dcn::profiler

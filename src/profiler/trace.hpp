@@ -1,0 +1,22 @@
+// Chrome-trace (about://tracing / Perfetto) export of a recorded session.
+//
+// Complements the tabular reports: the JSON timeline shows API calls,
+// kernel activity per stream, and memory operations on the simulated
+// virtual clock, the way `nsys export --type json` renders real traces.
+#pragma once
+
+#include <string>
+
+#include "profiler/recorder.hpp"
+
+namespace dcn::profiler {
+
+/// Serialize every recorded span as Chrome trace events ("X" complete
+/// events; microsecond timestamps). Rows (tid): 0 = CUDA API, 1 = kernels,
+/// 2 = memory operations.
+std::string to_chrome_trace(const Recorder& recorder);
+
+/// Write the trace JSON to `path` (throws dcn::Error on I/O failure).
+void write_chrome_trace(const Recorder& recorder, const std::string& path);
+
+}  // namespace dcn::profiler

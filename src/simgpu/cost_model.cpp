@@ -1,0 +1,81 @@
+#include "simgpu/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dcn::simgpu {
+
+KernelCost kernel_cost(const DeviceSpec& spec, const KernelDesc& kernel,
+                       std::int64_t batch) {
+  DCN_CHECK(batch >= 1) << "batch " << batch;
+  KernelCost cost;
+  const double flops = kernel.flops_per_sample * static_cast<double>(batch);
+  const double bytes =
+      kernel.activation_bytes_per_sample * static_cast<double>(batch) +
+      kernel.weight_bytes;
+  const double threads =
+      kernel.threads_per_sample * static_cast<double>(batch);
+  if (flops <= 0.0 && bytes <= 0.0) return cost;  // zero-work op
+
+  const double blocks =
+      std::ceil(std::max(1.0, threads) / spec.threads_per_block);
+  cost.occupancy =
+      std::min(1.0, blocks / static_cast<double>(spec.resident_blocks()));
+
+  const double compute_full = flops / spec.sustained_flops();
+  const double mem_time = bytes / spec.dram_bandwidth;
+  // An under-filled grid leaves SMs idle: compute throughput scales with
+  // the fraction of the device the grid can occupy.
+  const double util = std::max(cost.occupancy, 1e-3);
+  const double solo_exec =
+      std::max({compute_full / util, mem_time, spec.min_kernel_time});
+  cost.solo_seconds = spec.kernel_launch_gpu + solo_exec;
+  // Saturated time counts only genuinely consumed resources (FLOPs and
+  // DRAM traffic): launch latency and the minimum-duration floor overlap
+  // freely across streams and must not be work-conserving, or concurrent
+  // tiny kernels would falsely serialize.
+  cost.saturated_seconds = std::max(compute_full, mem_time);
+  return cost;
+}
+
+GroupCost group_cost(const DeviceSpec& spec,
+                     const std::vector<KernelDesc>& kernels,
+                     std::int64_t batch) {
+  GroupCost group;
+  for (const KernelDesc& kernel : kernels) {
+    const KernelCost cost = kernel_cost(spec, kernel, batch);
+    group.solo_seconds += cost.solo_seconds;
+    group.saturated_seconds += cost.saturated_seconds;
+  }
+  return group;
+}
+
+double stage_seconds(const DeviceSpec& spec,
+                     const std::vector<GroupCost>& groups) {
+  (void)spec;
+  double longest_solo = 0.0;
+  double total_saturated = 0.0;
+  for (const GroupCost& group : groups) {
+    longest_solo = std::max(longest_solo, group.solo_seconds);
+    total_saturated += group.saturated_seconds;
+  }
+  // Work-conserving envelope: the stage can finish no sooner than its
+  // longest group running alone, and no sooner than all of its work run at
+  // full device saturation.
+  return std::max(longest_solo, total_saturated);
+}
+
+double stage_seconds(const DeviceSpec& spec,
+                     const std::vector<std::vector<KernelDesc>>& groups,
+                     std::int64_t batch) {
+  std::vector<GroupCost> costs;
+  costs.reserve(groups.size());
+  for (const auto& group : groups) {
+    costs.push_back(group_cost(spec, group, batch));
+  }
+  return stage_seconds(spec, costs);
+}
+
+}  // namespace dcn::simgpu

@@ -1,0 +1,64 @@
+// Analytic kernel and stage cost model.
+//
+// Occupancy-wave model: a kernel's duration is the maximum of its
+// compute-limited and memory-limited times, where the compute term is
+// inflated when the launch grid is too small to fill the device
+// (utilization = resident blocks / capacity). This single mechanism yields
+// the three shapes the paper measures:
+//  - batch-size amortization with diminishing returns (Fig. 6): fixed
+//    launch overhead plus sub-linear compute time until saturation;
+//  - MatMul dominance at batch 1 vs Conv dominance at batch 64 (Table 3):
+//    FC kernels are weight-read bound (batch-independent) while conv work
+//    scales with batch;
+//  - growing synchronization share (Fig. 8): total GPU time grows with
+//    batch so the host's blocking wait grows with it.
+//
+// Concurrent stages (IOS groups on separate streams) are costed with a
+// work-conserving bound: stage time = max(longest group running alone,
+// total saturated work). This is exact for perfectly packing kernels and a
+// valid lower/upper envelope otherwise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simgpu/kernels.hpp"
+#include "simgpu/spec.hpp"
+
+namespace dcn::simgpu {
+
+/// Cost decomposition of one kernel at a given batch size.
+struct KernelCost {
+  /// Time if the kernel owned the whole device (launch latency included).
+  double solo_seconds = 0.0;
+  /// Time with the device fully dedicated and saturated (the
+  /// work-conserving contribution when sharing with concurrent kernels).
+  double saturated_seconds = 0.0;
+  /// Fraction of device block capacity this kernel's grid occupies.
+  double occupancy = 0.0;
+};
+
+/// Cost one kernel at `batch`.
+KernelCost kernel_cost(const DeviceSpec& spec, const KernelDesc& kernel,
+                       std::int64_t batch);
+
+/// A group is a chain of kernels executed back-to-back on one stream.
+struct GroupCost {
+  double solo_seconds = 0.0;
+  double saturated_seconds = 0.0;
+};
+
+GroupCost group_cost(const DeviceSpec& spec,
+                     const std::vector<KernelDesc>& kernels,
+                     std::int64_t batch);
+
+/// Duration of a stage whose groups run concurrently on separate streams.
+double stage_seconds(const DeviceSpec& spec,
+                     const std::vector<GroupCost>& groups);
+
+/// Convenience: stage time for groups given as kernel lists.
+double stage_seconds(const DeviceSpec& spec,
+                     const std::vector<std::vector<KernelDesc>>& groups,
+                     std::int64_t batch);
+
+}  // namespace dcn::simgpu

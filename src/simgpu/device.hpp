@@ -1,0 +1,80 @@
+// The simulated GPU device.
+//
+// Maintains a virtual timeline with a host clock (advanced by API-call
+// durations) and a device work queue (advanced by kernel/memcpy
+// executions). Every API call is recorded into the attached profiler
+// Recorder, so an nsys-style report falls out of any simulated run.
+//
+// Execution granularity is the *stage*: a set of kernel groups running
+// concurrently on separate streams (an IOS stage; a single-kernel stage
+// models ordinary eager execution). The cost model prices the stage; the
+// device places it on the timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profiler/recorder.hpp"
+#include "simgpu/cost_model.hpp"
+#include "simgpu/kernels.hpp"
+#include "simgpu/memory.hpp"
+#include "simgpu/spec.hpp"
+
+namespace dcn::simgpu {
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec, profiler::Recorder* recorder = nullptr);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// One-time module/library load (cuLibraryLoadData): cost scales with the
+  /// number of distinct kernels in the program. Subsequent calls are no-ops
+  /// (the driver caches the module), matching nsys traces where the load
+  /// appears once per process.
+  void load_library(int num_kernels);
+
+  /// Allocate / free device memory (tracked against spec().dram_bytes).
+  BufferId malloc(std::int64_t bytes);
+  void free(BufferId id);
+  const MemoryTracker& memory() const { return memory_; }
+
+  /// Create a stream (host-side cost only; streams are implicit in the
+  /// stage model).
+  void create_stream();
+
+  /// Blocking host->device / device->host copies over PCIe.
+  void memcpy_h2d(std::int64_t bytes);
+  void memcpy_d2h(std::int64_t bytes);
+
+  /// Execute one stage: groups of kernels run concurrently, kernels within
+  /// a group run back-to-back on one stream. Advances the device queue and
+  /// records one launch API span per kernel plus per-kernel activity spans.
+  void run_stage(const std::vector<std::vector<KernelDesc>>& groups,
+                 std::int64_t batch);
+
+  /// Host waits for the device queue to drain (cudaDeviceSynchronize).
+  void synchronize();
+
+  /// Current host time (seconds on the virtual timeline).
+  double host_time() const { return host_time_; }
+  /// Time at which the device queue drains.
+  double device_ready() const { return device_ready_; }
+
+  /// Reset both clocks to zero (keeps memory and library state).
+  void reset_clocks();
+
+ private:
+  void record_api(profiler::ApiKind kind, const std::string& name,
+                  double start, double duration);
+
+  DeviceSpec spec_;
+  profiler::Recorder* recorder_;
+  MemoryTracker memory_;
+  double host_time_ = 0.0;
+  double device_ready_ = 0.0;
+  bool library_loaded_ = false;
+};
+
+}  // namespace dcn::simgpu

@@ -1,0 +1,72 @@
+#include "simgpu/kernels.hpp"
+
+#include "core/error.hpp"
+
+namespace dcn::simgpu {
+
+profiler::KernelCategory categorize(graph::OpKind kind) {
+  switch (kind) {
+    case graph::OpKind::kLinear:
+      return profiler::KernelCategory::kMatMul;
+    case graph::OpKind::kConv2d:
+      return profiler::KernelCategory::kConv;
+    case graph::OpKind::kMaxPool:
+    case graph::OpKind::kAdaptivePool:
+      return profiler::KernelCategory::kPooling;
+    case graph::OpKind::kReLU:
+      return profiler::KernelCategory::kElementwise;
+    case graph::OpKind::kFlatten:
+    case graph::OpKind::kConcat:
+    case graph::OpKind::kInput:
+    case graph::OpKind::kOutput:
+      return profiler::KernelCategory::kMemory;
+  }
+  return profiler::KernelCategory::kMemory;
+}
+
+bool is_device_op(graph::OpKind kind) {
+  return kind != graph::OpKind::kInput && kind != graph::OpKind::kOutput;
+}
+
+KernelDesc make_kernel_desc(const graph::Graph& graph, graph::OpId id) {
+  const graph::OpNode& node = graph.node(id);
+  const graph::TensorDesc input = graph.input_desc(id);
+
+  KernelDesc desc;
+  desc.name = node.name;
+  desc.category = categorize(node.kind);
+  if (!is_device_op(node.kind)) return desc;
+
+  desc.flops_per_sample = node.flops(input);
+  desc.activation_bytes_per_sample = node.activation_bytes(input);
+  desc.weight_bytes = 4.0 * static_cast<double>(node.parameter_count(input));
+  desc.threads_per_sample = static_cast<double>(node.output.numel());
+  if (node.kind == graph::OpKind::kLinear) {
+    // GEMM/GEMV kernels parallelize the reduction dimension too (warp-level
+    // split-K); one thread per output element would drastically understate
+    // their occupancy and make FC layers compute-bound instead of
+    // weight-read bound.
+    desc.threads_per_sample *= 32.0;
+  }
+  return desc;
+}
+
+std::vector<KernelDesc> make_kernel_table(const graph::Graph& graph) {
+  std::vector<KernelDesc> table;
+  table.reserve(graph.size());
+  for (const graph::OpNode& node : graph.nodes()) {
+    table.push_back(make_kernel_desc(graph, node.id));
+  }
+  return table;
+}
+
+double total_weight_bytes(const graph::Graph& graph) {
+  double total = 0.0;
+  for (const graph::OpNode& node : graph.nodes()) {
+    total +=
+        4.0 * static_cast<double>(node.parameter_count(graph.input_desc(node.id)));
+  }
+  return total;
+}
+
+}  // namespace dcn::simgpu

@@ -1,0 +1,47 @@
+// Kernel descriptors: the unit of work the simulated device executes.
+//
+// A KernelDesc captures the batch-independent work profile of one graph
+// operator; the cost model scales it by the runtime batch size. Weights are
+// charged as DRAM reads on every launch (they are resident on-device but
+// not in cache), which is what makes small-batch FC layers memory-bound —
+// the effect behind the paper's Table-3 MatMul dominance at batch 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "profiler/events.hpp"
+
+namespace dcn::simgpu {
+
+struct KernelDesc {
+  std::string name;
+  profiler::KernelCategory category = profiler::KernelCategory::kConv;
+  /// FLOPs per sample.
+  double flops_per_sample = 0.0;
+  /// Activation bytes (in + out) per sample.
+  double activation_bytes_per_sample = 0.0;
+  /// Weight bytes read per launch (batch-independent).
+  double weight_bytes = 0.0;
+  /// Parallel threads per sample (one per output element).
+  double threads_per_sample = 0.0;
+};
+
+/// Map a graph op kind to its profiling category.
+profiler::KernelCategory categorize(graph::OpKind kind);
+
+/// Whether the op launches a device kernel at all (Input/Output do not).
+bool is_device_op(graph::OpKind kind);
+
+/// Build the kernel descriptor for one graph node.
+KernelDesc make_kernel_desc(const graph::Graph& graph, graph::OpId id);
+
+/// Descriptors for every device op in the graph, indexed by OpId (ops that
+/// launch nothing get a zero-work descriptor).
+std::vector<KernelDesc> make_kernel_table(const graph::Graph& graph);
+
+/// Total weight bytes of the model (what lives in device DRAM).
+double total_weight_bytes(const graph::Graph& graph);
+
+}  // namespace dcn::simgpu

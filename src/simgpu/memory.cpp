@@ -1,0 +1,29 @@
+#include "simgpu/memory.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dcn::simgpu {
+
+BufferId MemoryTracker::allocate(std::int64_t bytes,
+                                 std::int64_t capacity_bytes) {
+  DCN_CHECK(bytes >= 0) << "negative allocation";
+  DCN_CHECK(live_bytes_ + bytes <= capacity_bytes)
+      << "simulated device out of memory: " << live_bytes_ << " + " << bytes
+      << " > " << capacity_bytes;
+  const BufferId id = next_id_++;
+  buffers_[id] = bytes;
+  live_bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+  return id;
+}
+
+void MemoryTracker::free(BufferId id) {
+  auto it = buffers_.find(id);
+  DCN_CHECK(it != buffers_.end()) << "free of unknown buffer " << id;
+  live_bytes_ -= it->second;
+  buffers_.erase(it);
+}
+
+}  // namespace dcn::simgpu

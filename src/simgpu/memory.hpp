@@ -1,0 +1,34 @@
+// Device memory tracking (the Fig. 7 "memory is not the constraint" view).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace dcn::simgpu {
+
+using BufferId = std::int64_t;
+
+/// Tracks simulated device allocations and peak usage.
+class MemoryTracker {
+ public:
+  /// Allocate `bytes`; throws dcn::Error when the device would be
+  /// oversubscribed beyond `capacity_bytes`.
+  BufferId allocate(std::int64_t bytes, std::int64_t capacity_bytes);
+
+  /// Free a live buffer (double free throws).
+  void free(BufferId id);
+
+  std::int64_t live_bytes() const { return live_bytes_; }
+  std::int64_t peak_bytes() const { return peak_bytes_; }
+  std::int64_t live_buffers() const {
+    return static_cast<std::int64_t>(buffers_.size());
+  }
+
+ private:
+  std::map<BufferId, std::int64_t> buffers_;
+  BufferId next_id_ = 1;
+  std::int64_t live_bytes_ = 0;
+  std::int64_t peak_bytes_ = 0;
+};
+
+}  // namespace dcn::simgpu

@@ -1,0 +1,33 @@
+#include "simgpu/spec.hpp"
+
+namespace dcn::simgpu {
+
+DeviceSpec a5500_spec() {
+  DeviceSpec spec;
+  spec.name = "NVIDIA RTX A5500 (simulated)";
+  spec.sm_count = 80;
+  spec.peak_flops = 34.1e12;
+  spec.compute_efficiency = 0.55;
+  spec.blocks_per_sm = 16;
+  spec.threads_per_block = 256;
+  spec.dram_bandwidth = 768e9;
+  spec.pcie_bandwidth = 22e9;
+  spec.dram_bytes = 24ll << 30;
+  return spec;
+}
+
+DeviceSpec tiny_spec() {
+  DeviceSpec spec;
+  spec.name = "Tiny test GPU (simulated)";
+  spec.sm_count = 4;
+  spec.peak_flops = 0.5e12;
+  spec.compute_efficiency = 0.5;
+  spec.blocks_per_sm = 8;
+  spec.threads_per_block = 128;
+  spec.dram_bandwidth = 50e9;
+  spec.pcie_bandwidth = 8e9;
+  spec.dram_bytes = 2ll << 30;
+  return spec;
+}
+
+}  // namespace dcn::simgpu

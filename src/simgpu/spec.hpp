@@ -1,0 +1,71 @@
+// Simulated-device specification.
+//
+// Parameterizes the analytic cost model to a concrete GPU. a5500_spec()
+// approximates the paper's test machine (NVIDIA RTX A5500: 80 SMs / 10240
+// CUDA cores, 34.1 TFLOP/s fp32 peak, 768 GB/s GDDR6, 24 GB, PCIe 4.0 x16).
+// The model predicts trends, not cycle-exact times: what the reproduction
+// relies on is the relative behaviour across schedules and batch sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcn::simgpu {
+
+struct DeviceSpec {
+  std::string name = "Simulated GPU";
+
+  // Compute.
+  int sm_count = 80;
+  /// Peak single-precision throughput, FLOP/s.
+  double peak_flops = 34.1e12;
+  /// Fraction of peak a well-tuned dense kernel sustains.
+  double compute_efficiency = 0.55;
+  /// Concurrent thread blocks one SM can host.
+  int blocks_per_sm = 16;
+  /// Threads per block assumed by the launch-configuration model.
+  int threads_per_block = 256;
+
+  // Memory.
+  double dram_bandwidth = 768e9;      // bytes/s
+  double pcie_bandwidth = 22e9;       // bytes/s effective host<->device
+  std::int64_t dram_bytes = 24ll << 30;
+
+  // Overheads (seconds).
+  double kernel_launch_gpu = 2.5e-6;   // device-side launch latency
+  double kernel_launch_cpu = 3.0e-6;   // host API call duration
+  double memcpy_latency = 8.0e-6;      // fixed per-copy setup cost
+  double sync_api_floor = 1.5e-6;      // cudaDeviceSynchronize base cost
+  double malloc_cpu = 4.0e-6;
+  double stream_create_cpu = 6.0e-6;
+  /// cuLibraryLoadData cost per loaded kernel image. CUDA module loading
+  /// (cuDNN/cuBLAS fatbins) runs tens of milliseconds in real nsys traces,
+  /// which is why it dominates the paper's batch-1 API profile (Fig. 8).
+  double library_load_per_kernel = 1.0e-3;
+
+  /// Minimum achievable kernel duration (scheduling quantum).
+  double min_kernel_time = 1.0e-6;
+
+  /// Host-side gap between consecutive stages: the issuing thread must
+  /// observe stage completion (event query + next launch serialization)
+  /// before submitting the next stage. Eager frameworks pay this per
+  /// operator; IOS pays it per merged stage — a large part of its win on
+  /// small-latency models.
+  double inter_stage_gap = 12.0e-6;
+
+  /// Total thread blocks resident at full occupancy.
+  std::int64_t resident_blocks() const {
+    return static_cast<std::int64_t>(sm_count) * blocks_per_sm;
+  }
+
+  /// Sustained dense-compute throughput (FLOP/s).
+  double sustained_flops() const { return peak_flops * compute_efficiency; }
+};
+
+/// The paper's test GPU (NVIDIA RTX A5500, Dell Precision 5820 host).
+DeviceSpec a5500_spec();
+
+/// A deliberately small device for tests (pronounced saturation effects).
+DeviceSpec tiny_spec();
+
+}  // namespace dcn::simgpu

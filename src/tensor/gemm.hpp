@@ -1,0 +1,34 @@
+// Single-precision GEMM.
+//
+// Convolution (via im2col) and the fully-connected layers lower onto this
+// kernel, so it is the numerical workhorse of both training and inference.
+// The implementation is a cache-blocked, register-tiled SGEMM with optional
+// transposes; it is intentionally dependency-free (no BLAS) so builds are
+// hermetic and results bit-reproducible across machines.
+#pragma once
+
+#include <cstdint>
+
+namespace dcn {
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// A is m×k after the optional transpose, B is k×n, C is m×n; all row-major
+/// with leading dimensions lda/ldb/ldc (the stride between rows of the
+/// *stored* matrix, i.e. pre-transpose).
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, float alpha, const float* a, std::int64_t lda,
+           const float* b, std::int64_t ldb, float beta, float* c,
+           std::int64_t ldc);
+
+/// Convenience wrapper for contiguous row-major matrices:
+/// C[m×n] = op(A) * op(B) with natural leading dimensions.
+void matmul(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+            std::int64_t k, const float* a, const float* b, float* c);
+
+/// Reference triple-loop GEMM used by tests to validate the blocked kernel.
+void sgemm_reference(bool trans_a, bool trans_b, std::int64_t m,
+                     std::int64_t n, std::int64_t k, float alpha,
+                     const float* a, std::int64_t lda, const float* b,
+                     std::int64_t ldb, float beta, float* c, std::int64_t ldc);
+
+}  // namespace dcn

@@ -1,0 +1,60 @@
+#include "tensor/im2col.hpp"
+
+#include "core/error.hpp"
+
+namespace dcn {
+
+void im2col(const float* im, const ConvGeometry& g, float* col) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  DCN_CHECK(oh > 0 && ow > 0) << "conv output is empty: " << oh << 'x' << ow;
+  const std::int64_t out_cols = oh * ow;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const float* im_c = im + c * g.height * g.width;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
+        float* col_row =
+            col + ((c * g.kernel_h + kh) * g.kernel_w + kw) * out_cols;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.height) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) col_row[oy * ow + ox] = 0;
+            continue;
+          }
+          const float* im_row = im_c + iy * g.width;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride_w - g.pad_w + kw;
+            col_row[oy * ow + ox] =
+                (ix >= 0 && ix < g.width) ? im_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeometry& g, float* im) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t out_cols = oh * ow;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    float* im_c = im + c * g.height * g.width;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
+        const float* col_row =
+            col + ((c * g.kernel_h + kh) * g.kernel_w + kw) * out_cols;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.height) continue;
+          float* im_row = im_c + iy * g.width;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride_w - g.pad_w + kw;
+            if (ix >= 0 && ix < g.width) im_row[ix] += col_row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dcn

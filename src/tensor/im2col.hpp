@@ -1,0 +1,42 @@
+// im2col / col2im lowering for convolution.
+//
+// Conv2d forward lowers input patches into a (C*KH*KW) x (OH*OW) column
+// matrix so the convolution becomes a GEMM against the filter matrix;
+// col2im scatters gradients back for the backward pass. This mirrors the
+// cuDNN IMPLICIT_GEMM algorithm the paper's PyTorch stack uses, which is
+// also why the simulated-GPU cost model treats conv as GEMM-shaped work.
+#pragma once
+
+#include <cstdint>
+
+namespace dcn {
+
+/// Geometry of a 2-D convolution / pooling window application.
+struct ConvGeometry {
+  std::int64_t channels = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+
+  std::int64_t out_h() const {
+    return (height + 2 * pad_h - kernel_h) / stride_h + 1;
+  }
+  std::int64_t out_w() const {
+    return (width + 2 * pad_w - kernel_w) / stride_w + 1;
+  }
+};
+
+/// im: CHW image. col: (C*KH*KW) x (OH*OW) row-major matrix. Out-of-bounds
+/// (padding) taps are written as zero.
+void im2col(const float* im, const ConvGeometry& g, float* col);
+
+/// Scatter-add the column matrix back into a CHW image (accumulates; the
+/// caller zeroes `im` first).
+void col2im(const float* col, const ConvGeometry& g, float* im);
+
+}  // namespace dcn

@@ -1,0 +1,172 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dcn {
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  DCN_CHECK(a.shape() == b.shape())
+      << op << " shape mismatch " << a.shape().to_string() << " vs "
+      << b.shape().to_string();
+}
+
+}  // namespace
+
+void add(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b, "add");
+  check_same_shape(a, out, "add/out");
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out(a.shape());
+  add(a, b, out);
+  return out;
+}
+
+void sub(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b, "sub");
+  check_same_shape(a, out, "sub/out");
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out(a.shape());
+  sub(a, b, out);
+  return out;
+}
+
+void mul(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b, "mul");
+  check_same_shape(a, out, "mul/out");
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out(a.shape());
+  mul(a, b, out);
+  return out;
+}
+
+void scale(const Tensor& a, float scalar, Tensor& out) {
+  check_same_shape(a, out, "scale/out");
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] * scalar;
+}
+
+Tensor scale(const Tensor& a, float scalar) {
+  Tensor out(a.shape());
+  scale(a, scalar, out);
+  return out;
+}
+
+void axpy(float alpha, const Tensor& b, Tensor& a) {
+  check_same_shape(a, b, "axpy");
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) a[i] += alpha * b[i];
+}
+
+void relu(const Tensor& a, Tensor& out) {
+  check_same_shape(a, out, "relu/out");
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out(a.shape());
+  relu(a, out);
+  return out;
+}
+
+void relu_backward(const Tensor& a, const Tensor& grad, Tensor& out) {
+  check_same_shape(a, grad, "relu_backward");
+  check_same_shape(a, out, "relu_backward/out");
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] > 0.0f ? grad[i] : 0.0f;
+}
+
+void sigmoid(const Tensor& a, Tensor& out) {
+  check_same_shape(a, out, "sigmoid/out");
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float x = a[i];
+    // Evaluate through exp(-|x|) to avoid overflow for large |x|.
+    if (x >= 0.0f) {
+      const float e = std::exp(-x);
+      out[i] = 1.0f / (1.0f + e);
+    } else {
+      const float e = std::exp(x);
+      out[i] = e / (1.0f + e);
+    }
+  }
+}
+
+Tensor sigmoid(const Tensor& a) {
+  Tensor out(a.shape());
+  sigmoid(a, out);
+  return out;
+}
+
+void softmax_rows(const Tensor& logits, Tensor& out) {
+  DCN_CHECK(logits.rank() == 2) << "softmax_rows expects rank 2, got "
+                                << logits.shape().to_string();
+  check_same_shape(logits, out, "softmax/out");
+  const std::int64_t rows = logits.dim(0);
+  const std::int64_t cols = logits.dim(1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      sum += o[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor out(logits.shape());
+  softmax_rows(logits, out);
+  return out;
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "dot");
+  double acc = 0.0;
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double norm2(const Tensor& a) { return std::sqrt(dot(a, a)); }
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  float mx = 0.0f;
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    mx = std::max(mx, std::abs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+void clamp(Tensor& a, float lo, float hi) {
+  DCN_CHECK(lo <= hi) << "clamp range";
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) a[i] = std::clamp(a[i], lo, hi);
+}
+
+}  // namespace dcn

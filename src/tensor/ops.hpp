@@ -1,0 +1,58 @@
+// Elementwise and shape-preserving tensor operations.
+//
+// These are the building blocks the nn layers compose; each op has a
+// documented aliasing contract (out may alias an input unless stated
+// otherwise) and checks shapes at the boundary.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dcn {
+
+/// out = a + b (same shape). out may alias a or b.
+void add(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// out = a - b.
+void sub(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// out = a * b elementwise (Hadamard).
+void mul(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// out = a * scalar.
+void scale(const Tensor& a, float scalar, Tensor& out);
+Tensor scale(const Tensor& a, float scalar);
+
+/// a += alpha * b (axpy). Shapes must match.
+void axpy(float alpha, const Tensor& b, Tensor& a);
+
+/// out = max(a, 0).
+void relu(const Tensor& a, Tensor& out);
+Tensor relu(const Tensor& a);
+
+/// out = grad where a > 0 else 0 (ReLU backward wrt pre-activation a).
+void relu_backward(const Tensor& a, const Tensor& grad, Tensor& out);
+
+/// Numerically stable logistic sigmoid.
+void sigmoid(const Tensor& a, Tensor& out);
+Tensor sigmoid(const Tensor& a);
+
+/// Row-wise softmax over the last axis of a rank-2 tensor.
+void softmax_rows(const Tensor& logits, Tensor& out);
+Tensor softmax_rows(const Tensor& logits);
+
+/// Dot product of flattened tensors.
+double dot(const Tensor& a, const Tensor& b);
+
+/// L2 norm of the flattened tensor.
+double norm2(const Tensor& a);
+
+/// Max absolute difference between two same-shaped tensors.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Clamp every element into [lo, hi].
+void clamp(Tensor& a, float lo, float hi);
+
+}  // namespace dcn

@@ -1,0 +1,77 @@
+#include "tensor/reduce.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dcn {
+
+double sum(const Tensor& a) {
+  double acc = 0.0;
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+double mean(const Tensor& a) {
+  DCN_CHECK(a.numel() > 0) << "mean of empty tensor";
+  return sum(a) / static_cast<double>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  DCN_CHECK(a.numel() > 0) << "max of empty tensor";
+  float mx = a[0];
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 1; i < n; ++i) mx = std::max(mx, a[i]);
+  return mx;
+}
+
+float min_value(const Tensor& a) {
+  DCN_CHECK(a.numel() > 0) << "min of empty tensor";
+  float mn = a[0];
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 1; i < n; ++i) mn = std::min(mn, a[i]);
+  return mn;
+}
+
+std::pair<float, std::int64_t> argmax(const Tensor& a) {
+  DCN_CHECK(a.numel() > 0) << "argmax of empty tensor";
+  float mx = a[0];
+  std::int64_t idx = 0;
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 1; i < n; ++i) {
+    if (a[i] > mx) {
+      mx = a[i];
+      idx = i;
+    }
+  }
+  return {mx, idx};
+}
+
+Tensor row_sums(const Tensor& a) {
+  DCN_CHECK(a.rank() == 2) << "row_sums expects rank 2";
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  Tensor out(Shape{rows});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    const float* p = a.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) acc += p[c];
+    out[r] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor col_sums(const Tensor& a) {
+  DCN_CHECK(a.rank() == 2) << "col_sums expects rank 2";
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  Tensor out(Shape{cols});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* p = a.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) out[c] += p[c];
+  }
+  return out;
+}
+
+}  // namespace dcn

@@ -1,0 +1,32 @@
+// Reductions over tensors.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "tensor/tensor.hpp"
+
+namespace dcn {
+
+/// Sum of all elements (accumulated in double).
+double sum(const Tensor& a);
+
+/// Arithmetic mean of all elements.
+double mean(const Tensor& a);
+
+/// Maximum element value.
+float max_value(const Tensor& a);
+
+/// Minimum element value.
+float min_value(const Tensor& a);
+
+/// (max value, flat index of the first maximum).
+std::pair<float, std::int64_t> argmax(const Tensor& a);
+
+/// Per-row sums of a rank-2 tensor into a rank-1 tensor of length rows.
+Tensor row_sums(const Tensor& a);
+
+/// Per-column sums of a rank-2 tensor into a rank-1 tensor of length cols.
+Tensor col_sums(const Tensor& a);
+
+}  // namespace dcn

@@ -1,0 +1,103 @@
+#include "tensor/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace dcn {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'C', 'N', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DCN_CHECK(is.good()) << "truncated tensor stream";
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint32_t>(is);
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  DCN_CHECK(is.good()) << "truncated string in tensor stream";
+  return s;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.rank()));
+  for (std::size_t i = 0; i < t.rank(); ++i) {
+    write_pod<std::int64_t>(os, t.dim(i));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  DCN_CHECK(os.good()) << "tensor write failed";
+}
+
+Tensor read_tensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  DCN_CHECK(is.good() && std::memcmp(magic, kMagic, 4) == 0)
+      << "bad tensor magic";
+  const auto version = read_pod<std::uint32_t>(is);
+  DCN_CHECK(version == kVersion) << "unsupported tensor version " << version;
+  const auto rank = read_pod<std::uint32_t>(is);
+  DCN_CHECK(rank <= 8) << "implausible tensor rank " << rank;
+  std::vector<std::int64_t> dims(rank);
+  for (auto& d : dims) {
+    d = read_pod<std::int64_t>(is);
+    DCN_CHECK(d >= 0) << "negative dim in stream";
+  }
+  Tensor t{Shape(dims)};
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  DCN_CHECK(is.good()) << "truncated tensor payload";
+  return t;
+}
+
+void save_tensors(const std::string& path,
+                  const std::vector<std::pair<std::string, Tensor>>& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  DCN_CHECK(os.good()) << "cannot open " << path;
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    write_string(os, name);
+    write_tensor(os, tensor);
+  }
+  DCN_CHECK(os.good()) << "write to " << path << " failed";
+}
+
+std::vector<std::pair<std::string, Tensor>> load_tensors(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DCN_CHECK(is.good()) << "cannot open " << path;
+  const auto count = read_pod<std::uint32_t>(is);
+  std::vector<std::pair<std::string, Tensor>> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = read_string(is);
+    out.emplace_back(std::move(name), read_tensor(is));
+  }
+  return out;
+}
+
+}  // namespace dcn

@@ -1,0 +1,25 @@
+// Binary tensor (de)serialization.
+//
+// Format: magic "DCNT", u32 version, u32 rank, i64 dims[rank], f32 data.
+// Little-endian (the library targets x86-64/aarch64 Linux). Used to persist
+// trained model checkpoints and dataset caches between bench runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dcn {
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+/// Save/load a named collection (e.g. model parameters) to a single file.
+void save_tensors(const std::string& path,
+                  const std::vector<std::pair<std::string, Tensor>>& tensors);
+std::vector<std::pair<std::string, Tensor>> load_tensors(
+    const std::string& path);
+
+}  // namespace dcn

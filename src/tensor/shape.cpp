@@ -1,0 +1,50 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dcn {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (auto d : dims_) DCN_CHECK(d >= 0) << "negative dimension " << d;
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (auto d : dims_) DCN_CHECK(d >= 0) << "negative dimension " << d;
+}
+
+std::int64_t Shape::dim(std::size_t axis) const {
+  DCN_CHECK(axis < dims_.size())
+      << "axis " << axis << " out of range for rank " << dims_.size();
+  return dims_[axis];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size());
+  std::int64_t acc = 1;
+  for (std::size_t i = dims_.size(); i-- > 0;) {
+    s[i] = acc;
+    acc *= dims_[i];
+  }
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace dcn

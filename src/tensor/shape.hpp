@@ -1,0 +1,44 @@
+// Tensor shapes.
+//
+// Shapes are small value types (up to 6 dims inline would be possible, but a
+// vector keeps the code simple; shapes are never on hot paths — indexing
+// goes through precomputed extents in the kernels).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dcn {
+
+/// Dimension extents of a tensor. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t dim(std::size_t axis) const;
+  std::int64_t operator[](std::size_t axis) const { return dim(axis); }
+
+  /// Total number of elements (1 for scalars).
+  std::int64_t numel() const;
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Row-major strides (innermost stride 1).
+  std::vector<std::int64_t> strides() const;
+
+  /// "[2, 4, 100, 100]"
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace dcn

@@ -1,0 +1,106 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace dcn {
+
+Tensor::Tensor() : shape_(), data_(1, 0.0f) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  DCN_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel())
+      << "data size " << data_.size() << " != shape numel " << shape_.numel();
+}
+
+float& Tensor::operator[](std::int64_t i) {
+  DCN_DCHECK(i >= 0 && i < numel()) << "flat index " << i;
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::operator[](std::int64_t i) const {
+  DCN_DCHECK(i >= 0 && i < numel()) << "flat index " << i;
+  return data_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
+  DCN_CHECK(idx.size() == shape_.rank())
+      << "index rank " << idx.size() << " != tensor rank " << shape_.rank();
+  std::int64_t flat = 0;
+  std::size_t axis = 0;
+  for (std::int64_t i : idx) {
+    DCN_DCHECK(i >= 0 && i < shape_.dim(axis))
+        << "index " << i << " out of range on axis " << axis;
+    flat = flat * shape_.dim(axis) + i;
+    ++axis;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+
+void Tensor::reshape(Shape new_shape) {
+  DCN_CHECK(new_shape.numel() == numel())
+      << "reshape " << shape_.to_string() << " -> " << new_shape.to_string();
+  shape_ = std::move(new_shape);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor out = *this;
+  out.reshape(std::move(new_shape));
+  return out;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+  for (auto& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+std::string Tensor::to_string(std::int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.to_string() << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }
+
+Tensor arange(std::int64_t n) {
+  Tensor t(Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+}  // namespace dcn

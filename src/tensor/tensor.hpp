@@ -1,0 +1,85 @@
+// Dense float32 tensor with value semantics.
+//
+// The whole pipeline (training, inference numerics, synthetic rasters) works
+// in float32, matching the paper's PyTorch setup. Storage is a contiguous
+// row-major buffer; views are not implemented — reshaping copies metadata
+// only (the buffer is shared through the value's own vector when moved).
+// Value semantics keep ownership reasoning trivial per the Core Guidelines;
+// kernels take spans/pointers, never copies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace dcn {
+
+class Rng;
+
+/// Contiguous row-major float32 tensor.
+class Tensor {
+ public:
+  /// Empty scalar-shaped tensor holding one zero.
+  Tensor();
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Tensor adopting the given data; data.size() must equal shape.numel().
+  Tensor(Shape shape, std::vector<float> data);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  std::size_t rank() const { return shape_.rank(); }
+  std::int64_t dim(std::size_t axis) const { return shape_.dim(axis); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  /// Flat element access with bounds check in debug builds.
+  float& operator[](std::int64_t i);
+  float operator[](std::int64_t i) const;
+
+  /// Multi-dimensional access (rank-checked).
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  /// In-place metadata reshape; new shape must preserve numel.
+  void reshape(Shape new_shape);
+
+  /// Copy with a different shape (numel must match).
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Fill with N(mean, stddev) draws.
+  void fill_normal(Rng& rng, float mean, float stddev);
+  /// Fill with U[lo, hi) draws.
+  void fill_uniform(Rng& rng, float lo, float hi);
+
+  /// Human-readable summary: shape plus first elements.
+  std::string to_string(std::int64_t max_elems = 8) const;
+
+ private:
+  std::int64_t flat_index(std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Convenience factories.
+Tensor zeros(Shape shape);
+Tensor ones(Shape shape);
+Tensor full(Shape shape, float value);
+Tensor arange(std::int64_t n);  // [0, 1, ..., n-1] as a rank-1 tensor
+
+}  // namespace dcn

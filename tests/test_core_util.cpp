@@ -1,0 +1,161 @@
+// Tests for core utilities: tables, CSV, CLI flags, logging, error macros.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/cli.hpp"
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "core/logging.hpp"
+#include "core/table.hpp"
+
+namespace dcn {
+namespace {
+
+TEST(CheckMacro, ThrowsWithContext) {
+  try {
+    DCN_CHECK(1 == 2) << "context " << 42;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(CheckMacro, PassesSilently) {
+  DCN_CHECK(true) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Model", "AP"});
+  table.add_row({"Original SPP-Net", "95.00%"});
+  table.add_row({"#1", "96.10%"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("Original SPP-Net"), std::string::npos);
+  // Separator rule present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_percent(0.974, 1), "97.4%");
+  EXPECT_EQ(format_ms(0.268, 3), "0.268 ms");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("quote\"inside"), "\"quote\"\"inside\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterRoundShape) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4,5"});
+  const std::string out = csv.to_string();
+  EXPECT_EQ(out, "x,y\n1,2\n3,\"4,5\"\n");
+}
+
+TEST(Csv, RejectsWrongArity) {
+  CsvWriter csv({"x"});
+  EXPECT_THROW(csv.add_row({"1", "2"}), Error);
+}
+
+TEST(Cli, ParsesAllValueForms) {
+  CliFlags flags("prog", "test");
+  flags.add_int("count", 1, "a count");
+  flags.add_double("rate", 0.5, "a rate");
+  flags.add_string("name", "x", "a name");
+  flags.add_bool("fast", false, "a flag");
+  const std::array<const char*, 7> argv = {
+      "prog", "--count=4", "--rate", "2.5", "--name=abc", "--fast", "pos1"};
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.get_int("count"), 4);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 2.5);
+  EXPECT_EQ(flags.get_string("name"), "abc");
+  EXPECT_TRUE(flags.get_bool("fast"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  CliFlags flags("prog", "test");
+  flags.add_int("count", 7, "a count");
+  const std::array<const char*, 1> argv = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv.data()));
+  EXPECT_EQ(flags.get_int("count"), 7);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliFlags flags("prog", "test");
+  const std::array<const char*, 2> argv = {"prog", "--nope=1"};
+  EXPECT_THROW(flags.parse(2, argv.data()), ConfigError);
+}
+
+TEST(Cli, MalformedIntThrows) {
+  CliFlags flags("prog", "test");
+  flags.add_int("count", 1, "a count");
+  const std::array<const char*, 2> argv = {"prog", "--count=abc"};
+  EXPECT_THROW(flags.parse(2, argv.data()), ConfigError);
+}
+
+TEST(Cli, MalformedBoolThrows) {
+  CliFlags flags("prog", "test");
+  flags.add_bool("fast", false, "a flag");
+  const std::array<const char*, 2> argv = {"prog", "--fast=maybe"};
+  EXPECT_THROW(flags.parse(2, argv.data()), ConfigError);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliFlags flags("prog", "test");
+  const std::array<const char*, 2> argv = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, argv.data()));
+}
+
+TEST(Cli, DuplicateDeclarationThrows) {
+  CliFlags flags("prog", "test");
+  flags.add_int("x", 0, "x");
+  EXPECT_THROW(flags.add_int("x", 1, "again"), Error);
+}
+
+TEST(Cli, TypeMismatchOnGetThrows) {
+  CliFlags flags("prog", "test");
+  flags.add_int("x", 0, "x");
+  EXPECT_THROW(flags.get_string("x"), Error);
+  EXPECT_THROW(flags.get_int("undeclared"), Error);
+}
+
+TEST(Cli, UsageListsFlags) {
+  CliFlags flags("prog", "my description");
+  flags.add_int("epochs", 12, "training epochs");
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("my description"), std::string::npos);
+  EXPECT_NE(usage.find("--epochs"), std::string::npos);
+  EXPECT_NE(usage.find("training epochs"), std::string::npos);
+}
+
+TEST(Logging, LevelFilters) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  // Nothing to assert on stderr easily; exercise the path for coverage.
+  DCN_LOG_INFO << "suppressed";
+  DCN_LOG_ERROR << "emitted";
+  set_log_level(before);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,127 @@
+// Tests for the hillshade renderer and the optional DEM (fifth) channel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "detect/sppnet.hpp"
+#include "detect/trainer.hpp"
+#include "geo/dataset.hpp"
+#include "geo/render.hpp"
+
+namespace dcn::geo {
+namespace {
+
+TEST(Hillshade, FlatTerrainIsUniform) {
+  const Raster flat(16, 16, 100.0f);
+  const Raster shade = hillshade(flat);
+  // cos(zenith) for 45-degree sun: every cell identical.
+  const float expected = shade.at(8, 8);
+  for (std::int64_t i = 0; i < shade.size(); ++i) {
+    EXPECT_NEAR(shade.data()[i], expected, 1e-6f);
+    EXPECT_GE(shade.data()[i], 0.0f);
+    EXPECT_LE(shade.data()[i], 1.0f);
+  }
+  EXPECT_NEAR(expected, std::cos((90.0 - 45.0) * M_PI / 180.0), 1e-4f);
+}
+
+TEST(Hillshade, SlopesFacingTheSunAreBrighter) {
+  // Sun from the northwest (default azimuth 315): a NW-facing slope is
+  // brighter than a SE-facing slope.
+  Raster nw_facing(16, 16);
+  Raster se_facing(16, 16);
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      nw_facing.at(r, c) = static_cast<float>(r + c);       // descends to NW
+      se_facing.at(r, c) = static_cast<float>(-(r + c));    // descends to SE
+    }
+  }
+  EXPECT_GT(hillshade(nw_facing).at(8, 8), hillshade(se_facing).at(8, 8));
+}
+
+TEST(Hillshade, EmbankmentsCastVisibleRelief) {
+  // A road embankment on flat terrain produces local contrast.
+  Raster dem(32, 32, 50.0f);
+  for (std::int64_t r = 0; r < 32; ++r) dem.at(r, 16) += 2.0f;
+  const Raster shade = hillshade(dem);
+  float min_near = 1.0f;
+  float max_near = 0.0f;
+  for (std::int64_t r = 8; r < 24; ++r) {
+    for (std::int64_t c = 14; c <= 18; ++c) {
+      min_near = std::min(min_near, shade.at(r, c));
+      max_near = std::max(max_near, shade.at(r, c));
+    }
+  }
+  EXPECT_GT(max_near - min_near, 0.1f);
+}
+
+DatasetConfig dem_config() {
+  DatasetConfig config;
+  config.seed = 11;
+  config.num_worlds = 1;
+  config.terrain.rows = 256;
+  config.terrain.cols = 256;
+  config.roads.spacing = 64;
+  config.stream_threshold = 200.0;
+  config.patch_size = 24;
+  config.include_dem_channel = true;
+  return config;
+}
+
+TEST(DemChannel, DatasetProducesFiveChannelPatches) {
+  const auto dataset = DrainageDataset::synthesize(dem_config());
+  ASSERT_GT(dataset.size(), 10u);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(dataset.sample(i).image.dim(0), 5);
+    EXPECT_EQ(dataset.sample(i).image.dim(1), 24);
+  }
+  const Batch batch = dataset.make_batch({0, 1});
+  EXPECT_EQ(batch.images.shape(), Shape({2, 5, 24, 24}));
+}
+
+TEST(DemChannel, FifthChannelIsTheHillshade) {
+  DatasetConfig config = dem_config();
+  Rng rng(config.seed);
+  const World world = synthesize_world(config, rng);
+  const Tensor patch =
+      clip_patch(world.photo, 100, 100, 16, &world.hillshade);
+  ASSERT_EQ(patch.dim(0), 5);
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      EXPECT_EQ(patch.at({4, r, c}),
+                world.hillshade.at(100 - 8 + r, 100 - 8 + c));
+    }
+  }
+}
+
+TEST(DemChannel, FlipsPreserveChannelCount) {
+  const auto dataset = DrainageDataset::synthesize(dem_config());
+  const PatchSample& sample = dataset.sample(0);
+  const PatchSample flipped = flip_horizontal(sample);
+  EXPECT_EQ(flipped.image.shape(), sample.image.shape());
+  const PatchSample back = flip_horizontal(flipped);
+  for (std::int64_t i = 0; i < sample.image.numel(); ++i) {
+    ASSERT_EQ(back.image[i], sample.image[i]);
+  }
+}
+
+TEST(DemChannel, FiveChannelModelTrains) {
+  const auto dataset = DrainageDataset::synthesize(dem_config());
+  detect::SppNetConfig config = detect::parse_notation(
+      "C_{6,3,1}-P_{2,2}-SPP_{2,1}-F_{16}", /*in_channels=*/5);
+  Rng rng(3);
+  detect::SppNet model(config, rng);
+  const Split split = dataset.split(0.8, 3);
+  detect::TrainConfig train_config;
+  train_config.epochs = 3;
+  train_config.verbose = false;
+  const auto history =
+      detect::train_detector(model, dataset, split, train_config);
+  EXPECT_LT(history.epochs.back().mean_loss,
+            history.epochs.front().mean_loss * 1.5);
+  EXPECT_GE(history.final_eval.average_precision, 0.0);
+}
+
+}  // namespace
+}  // namespace dcn::geo

@@ -1,0 +1,218 @@
+// Tests for the third extension wave: Gantt rendering, rot90 augmentation,
+// and graph shape validation — plus parameterized property sweeps over the
+// SPP output-size law and the adaptive-pool coverage law.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "detect/sppnet_config.hpp"
+#include "geo/patch.hpp"
+#include "graph/builder.hpp"
+#include "ios/gantt.hpp"
+#include "ios/scheduler.hpp"
+#include "nn/pool.hpp"
+#include "nn/spp.hpp"
+#include "simgpu/spec.hpp"
+
+namespace dcn {
+namespace {
+
+TEST(Gantt, StructureMatchesSchedule) {
+  const auto g =
+      graph::build_inference_graph(detect::sppnet_candidate2(), 100);
+  const auto spec = simgpu::a5500_spec();
+  const ios::Schedule schedule = ios::optimize_schedule(g, spec);
+  const std::string gantt = ios::render_gantt(g, spec, schedule);
+  // One row per concurrent stream.
+  for (std::size_t s = 0; s < schedule.max_concurrency(); ++s) {
+    EXPECT_NE(gantt.find("stream " + std::to_string(s)),
+              std::string::npos);
+  }
+  // The large kernels' names appear (tiny kernels truncate to "[]").
+  EXPECT_NE(gantt.find("fc0"), std::string::npos);
+  EXPECT_NE(gantt.find("conv2"), std::string::npos);
+  // Stage separators: one '|' per stage per row.
+  const std::size_t bars =
+      static_cast<std::size_t>(std::count(gantt.begin(), gantt.end(), '|'));
+  EXPECT_EQ(bars, schedule.num_stages() * schedule.max_concurrency());
+}
+
+TEST(Gantt, SequentialScheduleIsSingleRow) {
+  const auto g =
+      graph::build_inference_graph(detect::original_sppnet(), 64);
+  const auto spec = simgpu::a5500_spec();
+  const std::string gantt =
+      ios::render_gantt(g, spec, ios::sequential_schedule(g));
+  EXPECT_NE(gantt.find("stream 0"), std::string::npos);
+  EXPECT_EQ(gantt.find("stream 1"), std::string::npos);
+}
+
+TEST(Gantt, RejectsSillyWidth) {
+  const auto g =
+      graph::build_inference_graph(detect::original_sppnet(), 64);
+  const auto spec = simgpu::a5500_spec();
+  ios::GanttOptions options;
+  options.width = 5;
+  EXPECT_THROW(
+      ios::render_gantt(g, spec, ios::sequential_schedule(g), options),
+      Error);
+}
+
+geo::PatchSample checker_sample() {
+  geo::PatchSample sample;
+  sample.label = 1.0f;
+  sample.image = Tensor(Shape{4, 6, 6});
+  Rng rng(3);
+  sample.image.fill_uniform(rng, 0.0f, 1.0f);
+  sample.box = {0.25f, 0.6f, 0.2f, 0.3f};
+  return sample;
+}
+
+TEST(Rotate90, FourRotationsAreIdentity) {
+  const geo::PatchSample original = checker_sample();
+  geo::PatchSample rotated = original;
+  for (int i = 0; i < 4; ++i) rotated = geo::rotate90(rotated);
+  for (std::int64_t i = 0; i < original.image.numel(); ++i) {
+    ASSERT_EQ(rotated.image[i], original.image[i]) << "pixel " << i;
+  }
+  EXPECT_NEAR(rotated.box[0], original.box[0], 1e-6f);
+  EXPECT_NEAR(rotated.box[1], original.box[1], 1e-6f);
+  EXPECT_EQ(rotated.box[2], original.box[2]);
+}
+
+TEST(Rotate90, BoxFollowsPixels) {
+  // Put a hot pixel at the box center and verify it lands at the rotated
+  // box center.
+  geo::PatchSample sample;
+  sample.label = 1.0f;
+  sample.image = Tensor(Shape{4, 8, 8}, 0.0f);
+  sample.box = {2.5f / 8, 5.5f / 8, 0.25f, 0.25f};  // center pixel (5, 2)
+  sample.image.at({0, 5, 2}) = 9.0f;
+  const geo::PatchSample rotated = geo::rotate90(sample);
+  const auto rx = static_cast<std::int64_t>(rotated.box[0] * 8);
+  const auto ry = static_cast<std::int64_t>(rotated.box[1] * 8);
+  EXPECT_EQ(rotated.image.at({0, ry, rx}), 9.0f);
+}
+
+TEST(Rotate90, SwapsBoxExtents) {
+  geo::PatchSample sample = checker_sample();
+  sample.box = {0.5f, 0.5f, 0.1f, 0.3f};
+  const geo::PatchSample rotated = geo::rotate90(sample);
+  EXPECT_EQ(rotated.box[2], 0.3f);
+  EXPECT_EQ(rotated.box[3], 0.1f);
+}
+
+TEST(Rotate90, RejectsNonSquare) {
+  geo::PatchSample sample;
+  sample.image = Tensor(Shape{4, 6, 8});
+  EXPECT_THROW(geo::rotate90(sample), Error);
+}
+
+TEST(ValidateShapes, AcceptsBuilderGraphs) {
+  for (const auto& config : detect::table1_models()) {
+    const auto g = graph::build_inference_graph(config, 100);
+    EXPECT_NO_THROW(graph::validate_shapes(g)) << config.name;
+  }
+}
+
+TEST(ValidateShapes, CatchesBadConvArithmetic) {
+  graph::Graph g;
+  const auto in = g.add_op(graph::OpKind::kInput, "in", {}, {},
+                           graph::TensorDesc{{3, 10, 10}});
+  graph::OpAttrs conv;
+  conv.kernel = 3;
+  conv.stride = 1;
+  conv.padding = 1;
+  conv.out_channels = 8;
+  g.add_op(graph::OpKind::kConv2d, "conv", conv, {in},
+           graph::TensorDesc{{8, 9, 9}});  // wrong: same padding keeps 10
+  EXPECT_THROW(graph::validate_shapes(g), Error);
+}
+
+TEST(ValidateShapes, CatchesConcatMiscount) {
+  graph::Graph g;
+  const auto in = g.add_op(graph::OpKind::kInput, "in", {}, {},
+                           graph::TensorDesc{{16}});
+  const auto a = g.add_op(graph::OpKind::kFlatten, "a", {}, {in},
+                          graph::TensorDesc{{16}});
+  const auto b = g.add_op(graph::OpKind::kFlatten, "b", {}, {in},
+                          graph::TensorDesc{{16}});
+  g.add_op(graph::OpKind::kConcat, "cat", {}, {a, b},
+           graph::TensorDesc{{30}});  // wrong: should be 32
+  EXPECT_THROW(graph::validate_shapes(g), Error);
+}
+
+TEST(ValidateShapes, CatchesLinearWidthMismatch) {
+  graph::Graph g;
+  const auto in = g.add_op(graph::OpKind::kInput, "in", {}, {},
+                           graph::TensorDesc{{16}});
+  graph::OpAttrs fc;
+  fc.out_features = 8;
+  g.add_op(graph::OpKind::kLinear, "fc", fc, {in},
+           graph::TensorDesc{{9}});  // wrong
+  EXPECT_THROW(graph::validate_shapes(g), Error);
+}
+
+// ---- Parameterized property sweeps ----
+
+// SPP output-size law: output features = C * sum(l^2) for every input size.
+using SppCase = std::tuple<int, int, int>;  // first level, channels, size
+
+class SppOutputLaw : public testing::TestWithParam<SppCase> {};
+
+TEST_P(SppOutputLaw, FixedLengthForAnyInput) {
+  const auto [first, channels, size] = GetParam();
+  SpatialPyramidPool spp(spp_levels_from_first(first));
+  Rng rng(static_cast<std::uint64_t>(first * 100 + channels + size));
+  Tensor x(Shape{2, channels, size, size});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  const Tensor y = spp.forward(x);
+  std::int64_t cells = 0;
+  for (std::int64_t l : spp.levels()) cells += l * l;
+  EXPECT_EQ(y.shape(), Shape({2, channels * cells}));
+  // Values are maxima of the input: bounded by the input range.
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y[i], 0.0f);
+    EXPECT_LE(y[i], 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SppOutputLaw,
+    testing::Combine(testing::Values(1, 2, 3, 4, 5),
+                     testing::Values(1, 8),
+                     testing::Values(5, 12, 25)));
+
+// Adaptive-pool coverage law: the max over all bins equals the global max.
+class AdaptiveCoverageLaw : public testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(AdaptiveCoverageLaw, BinsNeverMissTheGlobalMax) {
+  const auto [out, in] = GetParam();
+  if (out > in) GTEST_SKIP() << "upsampling case covered elsewhere";
+  AdaptiveMaxPool2d pool(out, out);
+  Rng rng(static_cast<std::uint64_t>(out * 1000 + in));
+  Tensor x(Shape{1, 3, in, in});
+  x.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor y = pool.forward(x);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    float global_max = -1e30f;
+    for (std::int64_t i = 0; i < in * in; ++i) {
+      global_max = std::max(global_max, x[c * in * in + i]);
+    }
+    float bin_max = -1e30f;
+    for (std::int64_t i = 0; i < out * out; ++i) {
+      bin_max = std::max(bin_max, y[c * out * out + i]);
+    }
+    EXPECT_FLOAT_EQ(bin_max, global_max) << "channel " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AdaptiveCoverageLaw,
+                         testing::Combine(testing::Values(1, 2, 3, 4, 5, 7),
+                                          testing::Values(5, 9, 12, 25)));
+
+}  // namespace
+}  // namespace dcn

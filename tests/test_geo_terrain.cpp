@@ -1,0 +1,151 @@
+// Tests for rasters and terrain synthesis.
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "geo/raster.hpp"
+#include "geo/terrain.hpp"
+
+namespace dcn::geo {
+namespace {
+
+TEST(Raster, BasicAccess) {
+  Raster r(3, 4, 1.5f);
+  EXPECT_EQ(r.rows(), 3);
+  EXPECT_EQ(r.cols(), 4);
+  EXPECT_EQ(r.size(), 12);
+  EXPECT_EQ(r.at(2, 3), 1.5f);
+  r.at(1, 2) = 7.0f;
+  EXPECT_EQ(r.data()[1 * 4 + 2], 7.0f);
+}
+
+TEST(Raster, InBounds) {
+  const Raster r(3, 4);
+  EXPECT_TRUE(r.in_bounds(0, 0));
+  EXPECT_TRUE(r.in_bounds(2, 3));
+  EXPECT_FALSE(r.in_bounds(-1, 0));
+  EXPECT_FALSE(r.in_bounds(3, 0));
+  EXPECT_FALSE(r.in_bounds(0, 4));
+}
+
+TEST(Raster, ClampedAccess) {
+  Raster r(2, 2);
+  r.at(0, 0) = 1.0f;
+  r.at(1, 1) = 4.0f;
+  EXPECT_EQ(r.at_clamped(-5, -5), 1.0f);
+  EXPECT_EQ(r.at_clamped(10, 10), 4.0f);
+}
+
+TEST(Raster, BilinearSample) {
+  Raster r(2, 2);
+  r.at(0, 0) = 0.0f;
+  r.at(0, 1) = 1.0f;
+  r.at(1, 0) = 2.0f;
+  r.at(1, 1) = 3.0f;
+  EXPECT_NEAR(r.sample(0.0, 0.5), 0.5f, 1e-6f);
+  EXPECT_NEAR(r.sample(0.5, 0.0), 1.0f, 1e-6f);
+  EXPECT_NEAR(r.sample(0.5, 0.5), 1.5f, 1e-6f);
+  // Out-of-range clamps.
+  EXPECT_NEAR(r.sample(-1.0, -1.0), 0.0f, 1e-6f);
+}
+
+TEST(Raster, NormalizeMapsMinMax) {
+  Raster r(1, 3);
+  r.at(0, 0) = -2.0f;
+  r.at(0, 1) = 0.0f;
+  r.at(0, 2) = 2.0f;
+  r.normalize(0.0f, 1.0f);
+  EXPECT_NEAR(r.at(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(r.at(0, 1), 0.5f, 1e-6f);
+  EXPECT_NEAR(r.at(0, 2), 1.0f, 1e-6f);
+}
+
+TEST(Raster, NormalizeFlatRaster) {
+  Raster r(2, 2, 5.0f);
+  r.normalize(0.25f, 0.75f);
+  EXPECT_EQ(r.at(0, 0), 0.25f);
+}
+
+TEST(Raster, RejectsEmpty) {
+  EXPECT_THROW(Raster(0, 5), dcn::Error);
+}
+
+TEST(ValueNoise, RangeAndDeterminism) {
+  Rng a(42);
+  Rng b(42);
+  const Raster na = value_noise(64, 64, 16.0, 3, a);
+  const Raster nb = value_noise(64, 64, 16.0, 3, b);
+  for (std::int64_t i = 0; i < na.size(); ++i) {
+    EXPECT_GE(na.data()[i], 0.0f);
+    EXPECT_LE(na.data()[i], 1.0f);
+    EXPECT_EQ(na.data()[i], nb.data()[i]);
+  }
+}
+
+TEST(ValueNoise, SpatiallySmooth) {
+  Rng rng(7);
+  const Raster n = value_noise(64, 64, 32.0, 1, rng);
+  // Neighboring cells of long-wavelength noise differ by little.
+  for (std::int64_t r = 0; r < 63; ++r) {
+    for (std::int64_t c = 0; c < 63; ++c) {
+      EXPECT_LT(std::abs(n.at(r, c) - n.at(r, c + 1)), 0.2f);
+      EXPECT_LT(std::abs(n.at(r, c) - n.at(r + 1, c)), 0.2f);
+    }
+  }
+}
+
+TEST(Terrain, SizeAndDeterminism) {
+  TerrainConfig config;
+  config.rows = 96;
+  config.cols = 128;
+  Rng a(3);
+  Rng b(3);
+  const Raster ta = synthesize_terrain(config, a);
+  const Raster tb = synthesize_terrain(config, b);
+  EXPECT_EQ(ta.rows(), 96);
+  EXPECT_EQ(ta.cols(), 128);
+  for (std::int64_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta.data()[i], tb.data()[i]);
+  }
+}
+
+TEST(Terrain, WestHigherThanEastOnAverage) {
+  TerrainConfig config;
+  config.rows = 128;
+  config.cols = 128;
+  Rng rng(5);
+  const Raster dem = synthesize_terrain(config, rng);
+  double west = 0.0;
+  double east = 0.0;
+  for (std::int64_t r = 0; r < dem.rows(); ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      west += dem.at(r, c);
+      east += dem.at(r, dem.cols() - 1 - c);
+    }
+  }
+  EXPECT_GT(west, east + 1.0);  // regional drop dominates the noise
+}
+
+TEST(Terrain, ReliefWithinConfiguredBudget) {
+  TerrainConfig config;
+  config.rows = 128;
+  config.cols = 128;
+  Rng rng(9);
+  const Raster dem = synthesize_terrain(config, rng);
+  const float relief = dem.max_value() - dem.min_value();
+  const float budget = static_cast<float>(
+      config.regional_drop + config.noise_amplitude + config.valley_depth * 2);
+  EXPECT_LE(relief, budget);
+  EXPECT_GT(relief, static_cast<float>(config.regional_drop) * 0.5f);
+}
+
+TEST(Terrain, RejectsTinyGrids) {
+  TerrainConfig config;
+  config.rows = 8;
+  config.cols = 8;
+  Rng rng(1);
+  EXPECT_THROW(synthesize_terrain(config, rng), dcn::Error);
+}
+
+}  // namespace
+}  // namespace dcn::geo

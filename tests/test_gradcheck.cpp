@@ -1,0 +1,175 @@
+// Numerical gradient checks for every layer's backward pass.
+//
+// Max-pooling layers are piecewise-linear; random continuous inputs keep
+// the finite-difference probes away from argmax ties with probability 1,
+// and the modest tolerance absorbs float32 noise.
+#include "nn/gradcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+#include "nn/spp.hpp"
+
+namespace dcn {
+namespace {
+
+Tensor random_input(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x(std::move(shape));
+  x.fill_normal(rng, 0.0f, 1.0f);
+  return x;
+}
+
+// (in_channels, out_channels, kernel, stride, spatial)
+using ConvCase = std::tuple<int, int, int, int, int>;
+
+class Conv2dGradCheck : public testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv2dGradCheck, InputGradient) {
+  const auto [ic, oc, k, s, hw] = GetParam();
+  Rng rng(1);
+  Conv2d conv(ic, oc, k, s, rng);
+  const Tensor x = random_input(Shape{2, ic, hw, hw}, 11);
+  const auto result = check_input_gradient(conv, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST_P(Conv2dGradCheck, ParameterGradients) {
+  const auto [ic, oc, k, s, hw] = GetParam();
+  Rng rng(2);
+  Conv2d conv(ic, oc, k, s, rng);
+  const Tensor x = random_input(Shape{2, ic, hw, hw}, 13);
+  const auto result = check_parameter_gradients(conv, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Conv2dGradCheck,
+                         testing::Values(ConvCase{1, 2, 3, 1, 6},
+                                         ConvCase{3, 4, 3, 1, 5},
+                                         ConvCase{2, 3, 5, 1, 7},
+                                         ConvCase{2, 2, 3, 2, 8},
+                                         ConvCase{4, 2, 1, 1, 4}));
+
+TEST(LinearGradCheck, InputAndParameters) {
+  Rng rng(3);
+  Linear linear(6, 4, rng);
+  const Tensor x = random_input(Shape{3, 6}, 17);
+  auto result = check_input_gradient(linear, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+  result = check_parameter_gradients(linear, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(ReluGradCheck, Input) {
+  ReLU relu;
+  const Tensor x = random_input(Shape{4, 9}, 19);
+  const auto result = check_input_gradient(relu, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(MaxPoolGradCheck, Input) {
+  MaxPool2d pool(2, 2);
+  const Tensor x = random_input(Shape{2, 3, 6, 6}, 23);
+  const auto result = check_input_gradient(pool, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(MaxPoolGradCheck, Stride3Kernel3) {
+  MaxPool2d pool(3, 3);
+  const Tensor x = random_input(Shape{1, 2, 9, 9}, 29);
+  const auto result = check_input_gradient(pool, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(AdaptivePoolGradCheck, Input) {
+  AdaptiveMaxPool2d pool(3, 3);
+  const Tensor x = random_input(Shape{2, 2, 7, 7}, 31);
+  const auto result = check_input_gradient(pool, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+class SppGradCheck : public testing::TestWithParam<int> {};
+
+TEST_P(SppGradCheck, InputForFirstLevel) {
+  SpatialPyramidPool spp(spp_levels_from_first(GetParam()));
+  const Tensor x = random_input(Shape{2, 3, 9, 9}, 37);
+  const auto result = check_input_gradient(spp, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(FirstLevels, SppGradCheck,
+                         testing::Values(1, 2, 3, 4, 5));
+
+TEST(FlattenGradCheck, Input) {
+  Flatten flatten;
+  const Tensor x = random_input(Shape{2, 3, 4, 4}, 41);
+  const auto result = check_input_gradient(flatten, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(SequentialGradCheck, ConvReluPoolLinearStack) {
+  Rng rng(7);
+  Sequential net;
+  net.emplace<Conv2d>(2, 3, 3, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2, 2);
+  net.emplace<Flatten>();
+  net.emplace<Linear>(3 * 3 * 3, 4, rng);
+  const Tensor x = random_input(Shape{2, 2, 6, 6}, 43);
+  // Composite stacks accumulate float32 rounding through four layers and
+  // the finite-difference probes occasionally straddle ReLU/max-pool
+  // kinks, so the tolerance is looser than for single layers.
+  auto result = check_input_gradient(net, x, 1e-3, 0.3);
+  EXPECT_TRUE(result.ok) << result.detail;
+  result = check_parameter_gradients(net, x, 1e-3, 0.3);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(SequentialGradCheck, SppStack) {
+  Rng rng(7);
+  Sequential net;
+  net.emplace<Conv2d>(1, 4, 3, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<SpatialPyramidPool>(std::vector<std::int64_t>{2, 1});
+  net.emplace<Linear>(4 * 5, 3, rng);
+  const Tensor x = random_input(Shape{2, 1, 7, 7}, 47);
+  auto result = check_input_gradient(net, x, 1e-3, 0.3);
+  EXPECT_TRUE(result.ok) << result.detail;
+  result = check_parameter_gradients(net, x, 1e-3, 0.3);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GradCheck, DetectsBrokenBackward) {
+  // A deliberately wrong layer must fail the check — guards the checker
+  // itself against vacuous passes.
+  class BrokenLayer : public Module {
+   public:
+    Tensor forward(const Tensor& input) override {
+      cached_ = input;
+      Tensor out(input.shape());
+      for (std::int64_t i = 0; i < input.numel(); ++i) {
+        out[i] = 2.0f * input[i];
+      }
+      return out;
+    }
+    Tensor backward(const Tensor& grad_output) override {
+      return grad_output;  // wrong: should be 2 * grad
+    }
+    std::string name() const override { return "Broken"; }
+
+   private:
+    Tensor cached_;
+  };
+  BrokenLayer layer;
+  const Tensor x = random_input(Shape{3, 3}, 53);
+  const auto result = check_input_gradient(layer, x);
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace dcn

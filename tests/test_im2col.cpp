@@ -1,0 +1,184 @@
+// Tests for im2col/col2im: direct-convolution equivalence and adjointness.
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "tensor/gemm.hpp"
+
+namespace dcn {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+// Naive direct convolution for one image: out[oc, oy, ox].
+std::vector<float> direct_conv(const std::vector<float>& im,
+                               const ConvGeometry& g,
+                               const std::vector<float>& weight,
+                               std::int64_t out_channels) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::vector<float> out(
+      static_cast<std::size_t>(out_channels * oh * ow), 0.0f);
+  for (std::int64_t oc = 0; oc < out_channels; ++oc) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        double acc = 0.0;
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+            for (std::int64_t kx = 0; kx < g.kernel_w; ++kx) {
+              const std::int64_t iy = oy * g.stride_h - g.pad_h + ky;
+              const std::int64_t ix = ox * g.stride_w - g.pad_w + kx;
+              if (iy < 0 || iy >= g.height || ix < 0 || ix >= g.width) {
+                continue;
+              }
+              const float iv = im[static_cast<std::size_t>(
+                  (c * g.height + iy) * g.width + ix)];
+              const float wv = weight[static_cast<std::size_t>(
+                  ((oc * g.channels + c) * g.kernel_h + ky) * g.kernel_w +
+                  kx)];
+              acc += static_cast<double>(iv) * wv;
+            }
+          }
+        }
+        out[static_cast<std::size_t>((oc * oh + oy) * ow + ox)] =
+            static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+// (channels, height, width, kernel, stride, pad)
+using ConvCase = std::tuple<int, int, int, int, int, int>;
+
+class Im2ColMatchesDirect : public testing::TestWithParam<ConvCase> {};
+
+TEST_P(Im2ColMatchesDirect, GemmLoweringEqualsDirectConv) {
+  const auto [channels, height, width, kernel, stride, pad] = GetParam();
+  ConvGeometry g;
+  g.channels = channels;
+  g.height = height;
+  g.width = width;
+  g.kernel_h = g.kernel_w = kernel;
+  g.stride_h = g.stride_w = stride;
+  g.pad_h = g.pad_w = pad;
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  ASSERT_GT(oh, 0);
+  ASSERT_GT(ow, 0);
+
+  Rng rng(static_cast<std::uint64_t>(channels * 31 + height * 7 + kernel));
+  const std::int64_t out_channels = 3;
+  const auto im =
+      random_vec(static_cast<std::size_t>(channels * height * width), rng);
+  const auto weight = random_vec(
+      static_cast<std::size_t>(out_channels * channels * kernel * kernel),
+      rng);
+
+  // im2col + GEMM path.
+  const std::int64_t k = channels * kernel * kernel;
+  std::vector<float> col(static_cast<std::size_t>(k * oh * ow));
+  im2col(im.data(), g, col.data());
+  std::vector<float> out_gemm(
+      static_cast<std::size_t>(out_channels * oh * ow));
+  matmul(false, false, out_channels, oh * ow, k, weight.data(), col.data(),
+         out_gemm.data());
+
+  const auto out_direct = direct_conv(im, g, weight, out_channels);
+  ASSERT_EQ(out_gemm.size(), out_direct.size());
+  for (std::size_t i = 0; i < out_gemm.size(); ++i) {
+    EXPECT_NEAR(out_gemm[i], out_direct[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColMatchesDirect,
+    testing::Values(ConvCase{1, 5, 5, 3, 1, 1}, ConvCase{4, 10, 10, 3, 1, 1},
+                    ConvCase{2, 8, 8, 5, 1, 2}, ConvCase{3, 9, 7, 3, 2, 1},
+                    ConvCase{4, 12, 12, 1, 1, 0}, ConvCase{1, 6, 6, 3, 3, 0},
+                    ConvCase{2, 11, 13, 7, 2, 3},
+                    ConvCase{4, 16, 16, 9, 1, 4}));
+
+TEST(Im2Col, PaddingRegionsAreZero) {
+  ConvGeometry g;
+  g.channels = 1;
+  g.height = 3;
+  g.width = 3;
+  g.kernel_h = g.kernel_w = 3;
+  g.pad_h = g.pad_w = 1;
+  std::vector<float> im(9, 1.0f);
+  std::vector<float> col(static_cast<std::size_t>(9 * 9), -99.0f);
+  im2col(im.data(), g, col.data());
+  // First row of col corresponds to tap (ky=0, kx=0): for output (0,0) the
+  // tap reads (-1,-1) which is padding -> 0.
+  EXPECT_EQ(col[0], 0.0f);
+  // Center tap (ky=1, kx=1) row: all in-bounds -> 1.
+  const std::size_t center_row = 4 * 9;
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(col[center_row + i], 1.0f);
+}
+
+TEST(Im2Col, Col2ImIsAdjoint) {
+  // <im2col(x), y> must equal <x, col2im(y)> for random x, y — the defining
+  // property that makes the conv backward pass correct.
+  ConvGeometry g;
+  g.channels = 3;
+  g.height = 7;
+  g.width = 6;
+  g.kernel_h = g.kernel_w = 3;
+  g.stride_h = 2;
+  g.stride_w = 1;
+  g.pad_h = 1;
+  g.pad_w = 0;
+  const std::int64_t k = g.channels * g.kernel_h * g.kernel_w;
+  const std::int64_t cols = g.out_h() * g.out_w();
+
+  Rng rng(77);
+  const auto x =
+      random_vec(static_cast<std::size_t>(g.channels * g.height * g.width),
+                 rng);
+  const auto y = random_vec(static_cast<std::size_t>(k * cols), rng);
+
+  std::vector<float> col(static_cast<std::size_t>(k * cols));
+  im2col(x.data(), g, col.data());
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    lhs += static_cast<double>(col[i]) * y[i];
+  }
+
+  std::vector<float> back(x.size(), 0.0f);
+  col2im(y.data(), g, back.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x[i]) * back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::abs(lhs) + 1e-3);
+}
+
+TEST(Im2Col, Col2ImAccumulates) {
+  ConvGeometry g;
+  g.channels = 1;
+  g.height = 4;
+  g.width = 4;
+  g.kernel_h = g.kernel_w = 2;
+  g.stride_h = g.stride_w = 1;
+  const std::int64_t k = 4;
+  const std::int64_t cols = 9;
+  std::vector<float> ones_col(static_cast<std::size_t>(k * cols), 1.0f);
+  std::vector<float> im(16, 0.0f);
+  col2im(ones_col.data(), g, im.data());
+  // Center cells are covered by 4 windows, corners by 1.
+  EXPECT_EQ(im[0], 1.0f);
+  EXPECT_EQ(im[5], 4.0f);   // (1,1)
+  EXPECT_EQ(im[15], 1.0f);  // (3,3)
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,181 @@
+// End-to-end integration: synthetic data -> training -> evaluation ->
+// inference graph -> IOS schedules -> simulated profiling -> NAS selection.
+// Everything at miniature scale so the whole file runs in seconds.
+#include <gtest/gtest.h>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+#include "detect/trainer.hpp"
+#include "geo/dataset.hpp"
+#include "graph/builder.hpp"
+#include "ios/executor.hpp"
+#include "ios/scheduler.hpp"
+#include "nas/runner.hpp"
+#include "nas/selection.hpp"
+#include "profiler/report.hpp"
+#include "simgpu/device.hpp"
+
+namespace dcn {
+namespace {
+
+geo::DatasetConfig tiny_data() {
+  geo::DatasetConfig config;
+  config.seed = 21;
+  config.num_worlds = 1;
+  config.terrain.rows = 256;
+  config.terrain.cols = 256;
+  config.roads.spacing = 64;
+  config.stream_threshold = 200.0;
+  config.patch_size = 24;
+  config.positive_jitter = 2;
+  return config;
+}
+
+detect::SppNetConfig tiny_model() {
+  return detect::parse_notation(
+      "C_{6,3,1}-P_{2,2}-C_{8,3,1}-P_{2,2}-SPP_{3,2,1}-F_{24}", 4);
+}
+
+TEST(Integration, TrainEvalScheduleProfile) {
+  set_log_level(LogLevel::kWarn);
+  // 1. Data.
+  const auto dataset = geo::DrainageDataset::synthesize(tiny_data());
+  ASSERT_GT(dataset.size(), 20u);
+  const geo::Split split = dataset.split(0.8, 3);
+
+  // 2. Train briefly.
+  Rng rng(1);
+  detect::SppNet model(tiny_model(), rng);
+  detect::TrainConfig train_config;
+  train_config.epochs = 6;
+  train_config.verbose = false;
+  const auto history =
+      detect::train_detector(model, dataset, split, train_config);
+  EXPECT_LT(history.epochs.back().mean_loss,
+            history.epochs.front().mean_loss);
+  EXPECT_GE(history.final_eval.average_precision, 0.0);
+
+  // 3. Inference graph of the trained architecture.
+  const graph::Graph g = graph::build_inference_graph(
+      tiny_model(), tiny_data().patch_size);
+  const auto spec = simgpu::a5500_spec();
+
+  // 4. Schedules: IOS beats sequential.
+  const ios::Schedule seq = ios::sequential_schedule(g);
+  const ios::Schedule opt = ios::optimize_schedule(g, spec);
+  simgpu::Device d_seq(spec);
+  simgpu::Device d_opt(spec);
+  const double t_seq = ios::measure_latency(g, seq, d_seq, 1);
+  const double t_opt = ios::measure_latency(g, opt, d_opt, 1);
+  EXPECT_LT(t_opt, t_seq);
+
+  // 5. Profiled run emits all three nsys views.
+  profiler::Recorder recorder;
+  simgpu::Device device(spec, &recorder);
+  ios::InferenceSession session(g, opt, device);
+  session.initialize();
+  (void)session.run(8);
+  EXPECT_GT(profiler::api_share(recorder,
+                                profiler::ApiKind::kLibraryLoadData),
+            0.0);
+  EXPECT_GT(profiler::kernel_share(recorder,
+                                   profiler::KernelCategory::kConv),
+            0.0);
+  EXPECT_GT(profiler::memop_summary(recorder).count, 0);
+  const std::string report = profiler::render_report(recorder);
+  EXPECT_NE(report.find("cudaLaunchKernel"), std::string::npos);
+}
+
+TEST(Integration, ProfiledApiSharesShiftWithBatch) {
+  // Fig. 8's qualitative claim, end-to-end: the library-load share falls
+  // and the synchronize share rises as batch size grows.
+  const auto spec = simgpu::a5500_spec();
+  const graph::Graph g =
+      graph::build_inference_graph(detect::sppnet_candidate2(), 100);
+  const ios::Schedule opt = ios::optimize_schedule(g, spec);
+
+  auto shares_at = [&](std::int64_t batch) {
+    profiler::Recorder recorder;
+    simgpu::Device device(spec, &recorder);
+    ios::InferenceSession session(g, opt, device);
+    session.initialize();
+    // Profile a measurement loop, as `nsys profile python IOS_Model.py`
+    // captures the script's whole run, not a single inference.
+    for (int i = 0; i < 10; ++i) (void)session.run(batch);
+    return std::pair{
+        profiler::api_share(recorder, profiler::ApiKind::kLibraryLoadData),
+        profiler::api_share(recorder,
+                            profiler::ApiKind::kDeviceSynchronize)};
+  };
+  const auto [lib1, sync1] = shares_at(1);
+  const auto [lib64, sync64] = shares_at(64);
+  EXPECT_GT(lib1, 0.5);     // library load dominates a batch-1 profile
+  EXPECT_LT(sync1, 0.15);
+  EXPECT_LT(lib64, lib1);   // amortized away at batch 64
+  EXPECT_GT(sync64, sync1);
+  EXPECT_GT(sync64, 0.2);   // synchronization becomes a first-order cost
+}
+
+TEST(Integration, KernelMixShiftsFromMatMulToConv) {
+  // Table 3's qualitative claim, end-to-end on the simulated device.
+  const auto spec = simgpu::a5500_spec();
+  const graph::Graph g =
+      graph::build_inference_graph(detect::sppnet_candidate2(), 100);
+  const ios::Schedule opt = ios::optimize_schedule(g, spec);
+
+  auto kernel_shares = [&](std::int64_t batch) {
+    profiler::Recorder recorder;
+    simgpu::Device device(spec, &recorder);
+    ios::InferenceSession session(g, opt, device);
+    session.initialize();
+    device.reset_clocks();
+    recorder.clear();
+    (void)session.run(batch);
+    return std::pair{
+        profiler::kernel_share(recorder, profiler::KernelCategory::kMatMul),
+        profiler::kernel_share(recorder, profiler::KernelCategory::kConv)};
+  };
+  const auto [mm1, conv1] = kernel_shares(1);
+  const auto [mm64, conv64] = kernel_shares(64);
+  EXPECT_GT(mm1, conv1);    // batch 1: FC weight reads dominate
+  EXPECT_GT(conv64, mm64);  // batch 64: convolutions dominate
+  EXPECT_GT(conv64, 0.5);
+}
+
+TEST(Integration, NasPipelineWithProxyEvaluator) {
+  // Fig. 5's loop at miniature scale, with a cheap functional evaluator
+  // standing in for training (the real-training variant is exercised by
+  // bench_nas_pipeline).
+  nas::SearchSpace space;
+  space.conv1_kernels = {3, 5};
+  space.spp_first_levels = {1, 3, 5};
+  space.fc_widths = {128, 1024};
+  nas::RandomSearchStrategy strategy(space, 5);
+  nas::RunnerConfig config;
+  config.max_trials = 6;
+  config.input_size = 32;
+  config.verbose = false;
+  const nas::TrialDatabase db = nas::run_multi_trial(
+      strategy,
+      [](const detect::SppNetConfig& model) {
+        // Proxy: accuracy grows with SPP richness, saturating.
+        return 0.90 + 0.01 * static_cast<double>(model.spp_levels.size()) +
+               0.005 * (model.fc_sizes[0] >= 1024 ? 1 : 0);
+      },
+      config);
+  ASSERT_EQ(db.size(), 6u);
+
+  const auto best = nas::select_constrained(db, 0.91);
+  ASSERT_TRUE(best.has_value());
+  // Selection obeys the constraint and maximizes throughput among the
+  // qualifying trials.
+  for (const nas::Trial& t : db.trials()) {
+    if (t.metrics.average_precision > 0.91) {
+      EXPECT_LE(t.metrics.throughput, best->metrics.throughput);
+    }
+  }
+  EXPECT_GT(best->metrics.average_precision, 0.91);
+}
+
+}  // namespace
+}  // namespace dcn

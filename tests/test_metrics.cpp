@@ -1,0 +1,136 @@
+// Tests for detection metrics (IoU, PR curve, Equation-1 AP).
+#include "detect/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace dcn::detect {
+namespace {
+
+TEST(BoxIou, IdenticalBoxes) {
+  const std::array<float, 4> a{0.5f, 0.5f, 0.2f, 0.2f};
+  EXPECT_NEAR(box_iou(a, a), 1.0f, 1e-6f);
+}
+
+TEST(BoxIou, DisjointBoxes) {
+  const std::array<float, 4> a{0.2f, 0.2f, 0.1f, 0.1f};
+  const std::array<float, 4> b{0.8f, 0.8f, 0.1f, 0.1f};
+  EXPECT_EQ(box_iou(a, b), 0.0f);
+}
+
+TEST(BoxIou, HalfOverlap) {
+  // Two unit-width boxes offset by half a width: IoU = (0.5)/(1.5) = 1/3.
+  const std::array<float, 4> a{0.0f, 0.0f, 1.0f, 1.0f};
+  const std::array<float, 4> b{0.5f, 0.0f, 1.0f, 1.0f};
+  EXPECT_NEAR(box_iou(a, b), 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(BoxIou, ContainedBox) {
+  const std::array<float, 4> outer{0.5f, 0.5f, 0.4f, 0.4f};
+  const std::array<float, 4> inner{0.5f, 0.5f, 0.2f, 0.2f};
+  EXPECT_NEAR(box_iou(outer, inner), 0.25f, 1e-6f);
+  EXPECT_NEAR(box_iou(inner, outer), 0.25f, 1e-6f);  // symmetric
+}
+
+TEST(BoxIou, ZeroAreaBoxes) {
+  const std::array<float, 4> degenerate{0.5f, 0.5f, 0.0f, 0.0f};
+  const std::array<float, 4> normal{0.5f, 0.5f, 0.2f, 0.2f};
+  EXPECT_EQ(box_iou(degenerate, normal), 0.0f);
+  EXPECT_EQ(box_iou(degenerate, degenerate), 0.0f);
+}
+
+std::vector<ScoredDetection> perfect_ranking() {
+  // Positives scored above all negatives, with good localization.
+  std::vector<ScoredDetection> dets;
+  for (int i = 0; i < 5; ++i) {
+    dets.push_back({0.9f - 0.01f * i, true, 0.8f});
+  }
+  for (int i = 0; i < 5; ++i) {
+    dets.push_back({0.3f - 0.01f * i, false, 0.0f});
+  }
+  return dets;
+}
+
+TEST(AveragePrecision, PerfectRankingIsOne) {
+  EXPECT_NEAR(average_precision(perfect_ranking()), 1.0, 1e-6);
+}
+
+TEST(AveragePrecision, WorstRankingNearZero) {
+  std::vector<ScoredDetection> dets;
+  for (int i = 0; i < 5; ++i) {
+    dets.push_back({0.9f - 0.01f * i, false, 0.0f});  // negatives on top
+  }
+  for (int i = 0; i < 5; ++i) {
+    dets.push_back({0.3f - 0.01f * i, true, 0.8f});
+  }
+  const double ap = average_precision(dets);
+  EXPECT_LT(ap, 0.55);
+  EXPECT_GT(ap, 0.0);  // positives still eventually recalled
+}
+
+TEST(AveragePrecision, BadLocalizationKillsTruePositives) {
+  std::vector<ScoredDetection> dets = perfect_ranking();
+  for (auto& d : dets) {
+    if (d.has_object) d.iou = 0.3f;  // below the 0.5 threshold
+  }
+  EXPECT_NEAR(average_precision(dets), 0.0, 1e-9);
+  // A lenient threshold restores them.
+  EXPECT_NEAR(average_precision(dets, 0.25f), 1.0, 1e-6);
+}
+
+TEST(AveragePrecision, InterleavedRankingKnownValue) {
+  // Ranking: TP, FP, TP with 2 positives total.
+  std::vector<ScoredDetection> dets{
+      {0.9f, true, 0.9f}, {0.8f, false, 0.0f}, {0.7f, true, 0.9f}};
+  // Recall steps: 0.5 at precision 1.0, then 1.0 at precision 2/3.
+  EXPECT_NEAR(average_precision(dets), 0.5 * 1.0 + 0.5 * (2.0 / 3.0), 1e-6);
+}
+
+TEST(PrecisionRecallCurve, RecallIsMonotone) {
+  const auto curve = precision_recall_curve(perfect_ranking());
+  ASSERT_EQ(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  }
+  EXPECT_NEAR(curve.back().recall, 1.0f, 1e-6f);
+  EXPECT_NEAR(curve.front().precision, 1.0f, 1e-6f);
+}
+
+TEST(PrecisionRecallCurve, ThresholdsDescend) {
+  const auto curve = precision_recall_curve(perfect_ranking());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(AccuracyAtThreshold, CountsBothClasses) {
+  std::vector<ScoredDetection> dets{
+      {0.9f, true, 0.8f},   // TP
+      {0.2f, true, 0.8f},   // FN
+      {0.7f, false, 0.0f},  // FP
+      {0.1f, false, 0.0f},  // TN
+  };
+  EXPECT_NEAR(accuracy_at_threshold(dets, 0.5f), 0.5, 1e-9);
+  EXPECT_THROW(accuracy_at_threshold({}, 0.5f), dcn::Error);
+}
+
+TEST(MeanIou, AveragesConfidentPositiveDetections) {
+  std::vector<ScoredDetection> dets{
+      {0.9f, true, 0.8f},
+      {0.8f, true, 0.4f},
+      {0.2f, true, 0.9f},   // below threshold: excluded
+      {0.9f, false, 0.0f},  // negative image: excluded
+  };
+  EXPECT_NEAR(mean_iou_of_detections(dets, 0.5f), 0.6, 1e-6);
+  EXPECT_EQ(mean_iou_of_detections({}, 0.5f), 0.0);
+}
+
+TEST(AveragePrecision, EmptyAndAllNegativeInputs) {
+  EXPECT_EQ(average_precision({}), 0.0);
+  std::vector<ScoredDetection> negatives{{0.9f, false, 0.0f}};
+  EXPECT_EQ(average_precision(negatives), 0.0);
+}
+
+}  // namespace
+}  // namespace dcn::detect

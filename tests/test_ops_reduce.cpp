@@ -1,0 +1,173 @@
+// Tests for elementwise ops and reductions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/reduce.hpp"
+
+namespace dcn {
+namespace {
+
+TEST(Ops, AddSubMul) {
+  const Tensor a(Shape{3}, 2.0f);
+  const Tensor b(Shape{3}, 3.0f);
+  EXPECT_EQ(add(a, b)[0], 5.0f);
+  EXPECT_EQ(sub(a, b)[1], -1.0f);
+  EXPECT_EQ(mul(a, b)[2], 6.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  const Tensor a(Shape{3});
+  const Tensor b(Shape{4});
+  EXPECT_THROW(add(a, b), Error);
+  EXPECT_THROW(dot(a, b), Error);
+}
+
+TEST(Ops, OutAliasingAllowed) {
+  Tensor a(Shape{3}, 2.0f);
+  const Tensor b(Shape{3}, 3.0f);
+  add(a, b, a);
+  EXPECT_EQ(a[0], 5.0f);
+}
+
+TEST(Ops, ScaleAndAxpy) {
+  Tensor a(Shape{2}, 1.0f);
+  const Tensor b(Shape{2}, 4.0f);
+  axpy(0.5f, b, a);
+  EXPECT_EQ(a[0], 3.0f);
+  EXPECT_EQ(scale(b, -2.0f)[1], -8.0f);
+}
+
+TEST(Ops, ReluClampsNegatives) {
+  Tensor a(Shape{4});
+  a[0] = -1.0f;
+  a[1] = 0.0f;
+  a[2] = 2.0f;
+  a[3] = -0.5f;
+  const Tensor r = relu(a);
+  EXPECT_EQ(r[0], 0.0f);
+  EXPECT_EQ(r[1], 0.0f);
+  EXPECT_EQ(r[2], 2.0f);
+  EXPECT_EQ(r[3], 0.0f);
+}
+
+TEST(Ops, ReluBackwardMasksByInputSign) {
+  Tensor a(Shape{3});
+  a[0] = -1.0f;
+  a[1] = 1.0f;
+  a[2] = 0.0f;
+  const Tensor g(Shape{3}, 5.0f);
+  Tensor out(Shape{3});
+  relu_backward(a, g, out);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 5.0f);
+  EXPECT_EQ(out[2], 0.0f);  // subgradient 0 at the kink
+}
+
+TEST(Ops, SigmoidStableAtExtremes) {
+  Tensor a(Shape{3});
+  a[0] = 100.0f;
+  a[1] = -100.0f;
+  a[2] = 0.0f;
+  const Tensor s = sigmoid(a);
+  EXPECT_NEAR(s[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(s[1], 0.0f, 1e-6f);
+  EXPECT_NEAR(s[2], 0.5f, 1e-6f);
+  EXPECT_FALSE(std::isnan(s[0]));
+  EXPECT_FALSE(std::isnan(s[1]));
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor logits(Shape{5, 7});
+  logits.fill_normal(rng, 0.0f, 10.0f);
+  const Tensor p = softmax_rows(logits);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    double row_sum = 0.0;
+    for (std::int64_t c = 0; c < 7; ++c) {
+      const float v = p.at({r, c});
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+      row_sum += v;
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxHandlesHugeLogits) {
+  Tensor logits(Shape{1, 3});
+  logits[0] = 1000.0f;
+  logits[1] = 999.0f;
+  logits[2] = -1000.0f;
+  const Tensor p = softmax_rows(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_GT(p[0], p[1]);
+  EXPECT_NEAR(p[2], 0.0f, 1e-6f);
+}
+
+TEST(Ops, DotAndNorm) {
+  Tensor a(Shape{3});
+  a[0] = 3.0f;
+  a[1] = 4.0f;
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+}
+
+TEST(Ops, MaxAbsDiff) {
+  Tensor a(Shape{3}, 1.0f);
+  Tensor b(Shape{3}, 1.0f);
+  b[2] = -1.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 2.5f);
+}
+
+TEST(Ops, ClampRange) {
+  Tensor a(Shape{3});
+  a[0] = -5.0f;
+  a[1] = 0.5f;
+  a[2] = 5.0f;
+  clamp(a, 0.0f, 1.0f);
+  EXPECT_EQ(a[0], 0.0f);
+  EXPECT_EQ(a[1], 0.5f);
+  EXPECT_EQ(a[2], 1.0f);
+  EXPECT_THROW(clamp(a, 1.0f, 0.0f), Error);
+}
+
+TEST(Reduce, SumMeanOverKnownValues) {
+  const Tensor t = arange(5);  // 0+1+2+3+4 = 10
+  EXPECT_DOUBLE_EQ(sum(t), 10.0);
+  EXPECT_DOUBLE_EQ(mean(t), 2.0);
+}
+
+TEST(Reduce, MinMaxArgmax) {
+  Tensor t(Shape{4});
+  t[0] = 1.0f;
+  t[1] = -3.0f;
+  t[2] = 7.0f;
+  t[3] = 7.0f;
+  EXPECT_EQ(max_value(t), 7.0f);
+  EXPECT_EQ(min_value(t), -3.0f);
+  const auto [mx, idx] = argmax(t);
+  EXPECT_EQ(mx, 7.0f);
+  EXPECT_EQ(idx, 2);  // first maximum
+}
+
+TEST(Reduce, RowAndColSums) {
+  Tensor t = arange(6).reshaped(Shape{2, 3});
+  const Tensor rows = row_sums(t);
+  EXPECT_EQ(rows[0], 3.0f);   // 0+1+2
+  EXPECT_EQ(rows[1], 12.0f);  // 3+4+5
+  const Tensor cols = col_sums(t);
+  EXPECT_EQ(cols[0], 3.0f);  // 0+3
+  EXPECT_EQ(cols[2], 7.0f);  // 2+5
+}
+
+TEST(Reduce, RowSumsRequiresRank2) {
+  EXPECT_THROW(row_sums(arange(4)), Error);
+  EXPECT_THROW(col_sums(arange(4)), Error);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,125 @@
+// Paper-shape invariants across device calibrations.
+//
+// The reproduction's headline claims (Fig. 6's batch amortization, Table
+// 3's MatMul->Conv crossover, Table 2's IOS win, Fig. 8's sync growth)
+// must be properties of the *mechanisms*, not of one calibration point.
+// These parameterized tests re-verify each shape on a family of device
+// specs spanning ~30x compute and ~15x bandwidth.
+#include <gtest/gtest.h>
+
+#include "detect/sppnet_config.hpp"
+#include "graph/builder.hpp"
+#include "ios/executor.hpp"
+#include "ios/scheduler.hpp"
+#include "profiler/report.hpp"
+#include "simgpu/device.hpp"
+
+namespace dcn {
+namespace {
+
+struct SpecCase {
+  const char* name;
+  double peak_flops;
+  double dram_bw;
+  int sm_count;
+};
+
+class ShapeAcrossSpecs : public testing::TestWithParam<SpecCase> {
+ protected:
+  simgpu::DeviceSpec spec() const {
+    simgpu::DeviceSpec s = simgpu::a5500_spec();
+    s.peak_flops = GetParam().peak_flops;
+    s.dram_bandwidth = GetParam().dram_bw;
+    s.sm_count = GetParam().sm_count;
+    return s;
+  }
+};
+
+TEST_P(ShapeAcrossSpecs, Fig6EfficiencyFallsAndSaturates) {
+  const auto s = spec();
+  const auto g =
+      graph::build_inference_graph(detect::sppnet_candidate2(), 100);
+  std::vector<double> per_image;
+  for (std::int64_t batch : {1, 4, 16, 64}) {
+    ios::IosOptions options;
+    options.batch = batch;
+    const auto schedule = ios::optimize_schedule(g, s, options);
+    simgpu::Device device(s);
+    per_image.push_back(ios::measure_latency(g, schedule, device, batch) /
+                        static_cast<double>(batch));
+  }
+  // Monotone improvement with diminishing relative gains.
+  for (std::size_t i = 1; i < per_image.size(); ++i) {
+    EXPECT_LT(per_image[i], per_image[i - 1] * 1.02) << GetParam().name;
+  }
+  EXPECT_GT(per_image[0] / per_image[1],
+            per_image[2] / per_image[3] * 0.99)
+      << GetParam().name;
+}
+
+TEST_P(ShapeAcrossSpecs, Table3MatMulShareFallsWithBatch) {
+  const auto s = spec();
+  const auto g =
+      graph::build_inference_graph(detect::sppnet_candidate2(), 100);
+  auto matmul_share_at = [&](std::int64_t batch) {
+    ios::IosOptions options;
+    options.batch = batch;
+    const auto schedule = ios::optimize_schedule(g, s, options);
+    profiler::Recorder recorder;
+    simgpu::Device device(s, &recorder);
+    ios::InferenceSession session(g, schedule, device);
+    session.initialize();
+    recorder.clear();
+    (void)session.run(batch);
+    return profiler::kernel_share(recorder,
+                                  profiler::KernelCategory::kMatMul);
+  };
+  EXPECT_GT(matmul_share_at(1), matmul_share_at(64)) << GetParam().name;
+}
+
+TEST_P(ShapeAcrossSpecs, Table2IosNeverLoses) {
+  const auto s = spec();
+  for (const auto& config : detect::table1_models()) {
+    const auto g = graph::build_inference_graph(config, 100);
+    simgpu::Device d_seq(s);
+    simgpu::Device d_opt(s);
+    const double seq =
+        ios::measure_latency(g, ios::sequential_schedule(g), d_seq, 1);
+    const double opt =
+        ios::measure_latency(g, ios::optimize_schedule(g, s), d_opt, 1);
+    EXPECT_LE(opt, seq + 1e-12) << GetParam().name << " / " << config.name;
+  }
+}
+
+TEST_P(ShapeAcrossSpecs, Fig8SyncShareGrowsWithBatch) {
+  const auto s = spec();
+  const auto g =
+      graph::build_inference_graph(detect::sppnet_candidate2(), 100);
+  auto sync_share_at = [&](std::int64_t batch) {
+    ios::IosOptions options;
+    options.batch = batch;
+    const auto schedule = ios::optimize_schedule(g, s, options);
+    profiler::Recorder recorder;
+    simgpu::Device device(s, &recorder);
+    ios::InferenceSession session(g, schedule, device);
+    session.initialize();
+    for (int i = 0; i < 5; ++i) (void)session.run(batch);
+    return profiler::api_share(recorder,
+                               profiler::ApiKind::kDeviceSynchronize);
+  };
+  EXPECT_GT(sync_share_at(64), sync_share_at(1)) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Devices, ShapeAcrossSpecs,
+    testing::Values(SpecCase{"a5500_like", 34.1e12, 768e9, 80},
+                    SpecCase{"small_gpu", 5e12, 200e9, 20},
+                    SpecCase{"wide_gpu", 60e12, 1500e9, 140},
+                    SpecCase{"bandwidth_starved", 34.1e12, 100e9, 80},
+                    SpecCase{"compute_starved", 2e12, 768e9, 16}),
+    [](const testing::TestParamInfo<SpecCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dcn
