@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_rcnn.dir/bench_baseline_rcnn.cpp.o"
+  "CMakeFiles/bench_baseline_rcnn.dir/bench_baseline_rcnn.cpp.o.d"
+  "bench_baseline_rcnn"
+  "bench_baseline_rcnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_rcnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

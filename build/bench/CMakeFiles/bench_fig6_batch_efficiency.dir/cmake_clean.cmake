@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_batch_efficiency.dir/bench_fig6_batch_efficiency.cpp.o"
+  "CMakeFiles/bench_fig6_batch_efficiency.dir/bench_fig6_batch_efficiency.cpp.o.d"
+  "bench_fig6_batch_efficiency"
+  "bench_fig6_batch_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_batch_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

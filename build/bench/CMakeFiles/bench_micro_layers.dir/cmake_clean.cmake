@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_layers.dir/bench_micro_layers.cpp.o"
+  "CMakeFiles/bench_micro_layers.dir/bench_micro_layers.cpp.o.d"
+  "bench_micro_layers"
+  "bench_micro_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nas_pipeline.dir/bench_nas_pipeline.cpp.o"
+  "CMakeFiles/bench_nas_pipeline.dir/bench_nas_pipeline.cpp.o.d"
+  "bench_nas_pipeline"
+  "bench_nas_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nas_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

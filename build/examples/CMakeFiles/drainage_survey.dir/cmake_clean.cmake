@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drainage_survey.dir/drainage_survey.cpp.o"
+  "CMakeFiles/drainage_survey.dir/drainage_survey.cpp.o.d"
+  "drainage_survey"
+  "drainage_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drainage_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

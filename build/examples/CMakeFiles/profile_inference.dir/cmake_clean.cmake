@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_inference.dir/profile_inference.cpp.o"
+  "CMakeFiles/profile_inference.dir/profile_inference.cpp.o.d"
+  "profile_inference"
+  "profile_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_core.dir/cli.cpp.o"
+  "CMakeFiles/dcn_core.dir/cli.cpp.o.d"
+  "CMakeFiles/dcn_core.dir/csv.cpp.o"
+  "CMakeFiles/dcn_core.dir/csv.cpp.o.d"
+  "CMakeFiles/dcn_core.dir/logging.cpp.o"
+  "CMakeFiles/dcn_core.dir/logging.cpp.o.d"
+  "CMakeFiles/dcn_core.dir/parallel.cpp.o"
+  "CMakeFiles/dcn_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/dcn_core.dir/rng.cpp.o"
+  "CMakeFiles/dcn_core.dir/rng.cpp.o.d"
+  "CMakeFiles/dcn_core.dir/table.cpp.o"
+  "CMakeFiles/dcn_core.dir/table.cpp.o.d"
+  "libdcn_core.a"
+  "libdcn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

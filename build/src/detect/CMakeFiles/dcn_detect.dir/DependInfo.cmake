@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/fixed_cnn.cpp" "src/detect/CMakeFiles/dcn_detect.dir/fixed_cnn.cpp.o" "gcc" "src/detect/CMakeFiles/dcn_detect.dir/fixed_cnn.cpp.o.d"
+  "/root/repo/src/detect/imageops.cpp" "src/detect/CMakeFiles/dcn_detect.dir/imageops.cpp.o" "gcc" "src/detect/CMakeFiles/dcn_detect.dir/imageops.cpp.o.d"
+  "/root/repo/src/detect/metrics.cpp" "src/detect/CMakeFiles/dcn_detect.dir/metrics.cpp.o" "gcc" "src/detect/CMakeFiles/dcn_detect.dir/metrics.cpp.o.d"
+  "/root/repo/src/detect/rcnn_lite.cpp" "src/detect/CMakeFiles/dcn_detect.dir/rcnn_lite.cpp.o" "gcc" "src/detect/CMakeFiles/dcn_detect.dir/rcnn_lite.cpp.o.d"
+  "/root/repo/src/detect/report.cpp" "src/detect/CMakeFiles/dcn_detect.dir/report.cpp.o" "gcc" "src/detect/CMakeFiles/dcn_detect.dir/report.cpp.o.d"
+  "/root/repo/src/detect/sppnet.cpp" "src/detect/CMakeFiles/dcn_detect.dir/sppnet.cpp.o" "gcc" "src/detect/CMakeFiles/dcn_detect.dir/sppnet.cpp.o.d"
+  "/root/repo/src/detect/sppnet_config.cpp" "src/detect/CMakeFiles/dcn_detect.dir/sppnet_config.cpp.o" "gcc" "src/detect/CMakeFiles/dcn_detect.dir/sppnet_config.cpp.o.d"
+  "/root/repo/src/detect/trainer.cpp" "src/detect/CMakeFiles/dcn_detect.dir/trainer.cpp.o" "gcc" "src/detect/CMakeFiles/dcn_detect.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dcn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_detect.dir/fixed_cnn.cpp.o"
+  "CMakeFiles/dcn_detect.dir/fixed_cnn.cpp.o.d"
+  "CMakeFiles/dcn_detect.dir/imageops.cpp.o"
+  "CMakeFiles/dcn_detect.dir/imageops.cpp.o.d"
+  "CMakeFiles/dcn_detect.dir/metrics.cpp.o"
+  "CMakeFiles/dcn_detect.dir/metrics.cpp.o.d"
+  "CMakeFiles/dcn_detect.dir/rcnn_lite.cpp.o"
+  "CMakeFiles/dcn_detect.dir/rcnn_lite.cpp.o.d"
+  "CMakeFiles/dcn_detect.dir/report.cpp.o"
+  "CMakeFiles/dcn_detect.dir/report.cpp.o.d"
+  "CMakeFiles/dcn_detect.dir/sppnet.cpp.o"
+  "CMakeFiles/dcn_detect.dir/sppnet.cpp.o.d"
+  "CMakeFiles/dcn_detect.dir/sppnet_config.cpp.o"
+  "CMakeFiles/dcn_detect.dir/sppnet_config.cpp.o.d"
+  "CMakeFiles/dcn_detect.dir/trainer.cpp.o"
+  "CMakeFiles/dcn_detect.dir/trainer.cpp.o.d"
+  "libdcn_detect.a"
+  "libdcn_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/crossings.cpp" "src/geo/CMakeFiles/dcn_geo.dir/crossings.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/crossings.cpp.o.d"
+  "/root/repo/src/geo/dataset.cpp" "src/geo/CMakeFiles/dcn_geo.dir/dataset.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/dataset.cpp.o.d"
+  "/root/repo/src/geo/hydrology.cpp" "src/geo/CMakeFiles/dcn_geo.dir/hydrology.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/hydrology.cpp.o.d"
+  "/root/repo/src/geo/patch.cpp" "src/geo/CMakeFiles/dcn_geo.dir/patch.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/patch.cpp.o.d"
+  "/root/repo/src/geo/ppm.cpp" "src/geo/CMakeFiles/dcn_geo.dir/ppm.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/ppm.cpp.o.d"
+  "/root/repo/src/geo/raster.cpp" "src/geo/CMakeFiles/dcn_geo.dir/raster.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/raster.cpp.o.d"
+  "/root/repo/src/geo/render.cpp" "src/geo/CMakeFiles/dcn_geo.dir/render.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/render.cpp.o.d"
+  "/root/repo/src/geo/roads.cpp" "src/geo/CMakeFiles/dcn_geo.dir/roads.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/roads.cpp.o.d"
+  "/root/repo/src/geo/streamstats.cpp" "src/geo/CMakeFiles/dcn_geo.dir/streamstats.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/streamstats.cpp.o.d"
+  "/root/repo/src/geo/terrain.cpp" "src/geo/CMakeFiles/dcn_geo.dir/terrain.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/terrain.cpp.o.d"
+  "/root/repo/src/geo/tiling.cpp" "src/geo/CMakeFiles/dcn_geo.dir/tiling.cpp.o" "gcc" "src/geo/CMakeFiles/dcn_geo.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_geo.dir/crossings.cpp.o"
+  "CMakeFiles/dcn_geo.dir/crossings.cpp.o.d"
+  "CMakeFiles/dcn_geo.dir/dataset.cpp.o"
+  "CMakeFiles/dcn_geo.dir/dataset.cpp.o.d"
+  "CMakeFiles/dcn_geo.dir/hydrology.cpp.o"
+  "CMakeFiles/dcn_geo.dir/hydrology.cpp.o.d"
+  "CMakeFiles/dcn_geo.dir/patch.cpp.o"
+  "CMakeFiles/dcn_geo.dir/patch.cpp.o.d"
+  "CMakeFiles/dcn_geo.dir/ppm.cpp.o"
+  "CMakeFiles/dcn_geo.dir/ppm.cpp.o.d"
+  "CMakeFiles/dcn_geo.dir/raster.cpp.o"
+  "CMakeFiles/dcn_geo.dir/raster.cpp.o.d"
+  "CMakeFiles/dcn_geo.dir/render.cpp.o"
+  "CMakeFiles/dcn_geo.dir/render.cpp.o.d"
+  "CMakeFiles/dcn_geo.dir/roads.cpp.o"
+  "CMakeFiles/dcn_geo.dir/roads.cpp.o.d"
+  "CMakeFiles/dcn_geo.dir/streamstats.cpp.o"
+  "CMakeFiles/dcn_geo.dir/streamstats.cpp.o.d"
+  "CMakeFiles/dcn_geo.dir/terrain.cpp.o"
+  "CMakeFiles/dcn_geo.dir/terrain.cpp.o.d"
+  "CMakeFiles/dcn_geo.dir/tiling.cpp.o"
+  "CMakeFiles/dcn_geo.dir/tiling.cpp.o.d"
+  "libdcn_geo.a"
+  "libdcn_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/blocks.cpp" "src/graph/CMakeFiles/dcn_graph.dir/blocks.cpp.o" "gcc" "src/graph/CMakeFiles/dcn_graph.dir/blocks.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/dcn_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/dcn_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/dcn_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/dcn_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/op.cpp" "src/graph/CMakeFiles/dcn_graph.dir/op.cpp.o" "gcc" "src/graph/CMakeFiles/dcn_graph.dir/op.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dcn_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dcn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_graph.dir/blocks.cpp.o"
+  "CMakeFiles/dcn_graph.dir/blocks.cpp.o.d"
+  "CMakeFiles/dcn_graph.dir/builder.cpp.o"
+  "CMakeFiles/dcn_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/dcn_graph.dir/graph.cpp.o"
+  "CMakeFiles/dcn_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dcn_graph.dir/op.cpp.o"
+  "CMakeFiles/dcn_graph.dir/op.cpp.o.d"
+  "libdcn_graph.a"
+  "libdcn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ios/executor.cpp" "src/ios/CMakeFiles/dcn_ios.dir/executor.cpp.o" "gcc" "src/ios/CMakeFiles/dcn_ios.dir/executor.cpp.o.d"
+  "/root/repo/src/ios/gantt.cpp" "src/ios/CMakeFiles/dcn_ios.dir/gantt.cpp.o" "gcc" "src/ios/CMakeFiles/dcn_ios.dir/gantt.cpp.o.d"
+  "/root/repo/src/ios/hios_lite.cpp" "src/ios/CMakeFiles/dcn_ios.dir/hios_lite.cpp.o" "gcc" "src/ios/CMakeFiles/dcn_ios.dir/hios_lite.cpp.o.d"
+  "/root/repo/src/ios/schedule.cpp" "src/ios/CMakeFiles/dcn_ios.dir/schedule.cpp.o" "gcc" "src/ios/CMakeFiles/dcn_ios.dir/schedule.cpp.o.d"
+  "/root/repo/src/ios/scheduler.cpp" "src/ios/CMakeFiles/dcn_ios.dir/scheduler.cpp.o" "gcc" "src/ios/CMakeFiles/dcn_ios.dir/scheduler.cpp.o.d"
+  "/root/repo/src/ios/serialize.cpp" "src/ios/CMakeFiles/dcn_ios.dir/serialize.cpp.o" "gcc" "src/ios/CMakeFiles/dcn_ios.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simgpu/CMakeFiles/dcn_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dcn_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dcn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/dcn_profiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_ios.dir/executor.cpp.o"
+  "CMakeFiles/dcn_ios.dir/executor.cpp.o.d"
+  "CMakeFiles/dcn_ios.dir/gantt.cpp.o"
+  "CMakeFiles/dcn_ios.dir/gantt.cpp.o.d"
+  "CMakeFiles/dcn_ios.dir/hios_lite.cpp.o"
+  "CMakeFiles/dcn_ios.dir/hios_lite.cpp.o.d"
+  "CMakeFiles/dcn_ios.dir/schedule.cpp.o"
+  "CMakeFiles/dcn_ios.dir/schedule.cpp.o.d"
+  "CMakeFiles/dcn_ios.dir/scheduler.cpp.o"
+  "CMakeFiles/dcn_ios.dir/scheduler.cpp.o.d"
+  "CMakeFiles/dcn_ios.dir/serialize.cpp.o"
+  "CMakeFiles/dcn_ios.dir/serialize.cpp.o.d"
+  "libdcn_ios.a"
+  "libdcn_ios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_ios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_nas.dir/experiment.cpp.o"
+  "CMakeFiles/dcn_nas.dir/experiment.cpp.o.d"
+  "CMakeFiles/dcn_nas.dir/runner.cpp.o"
+  "CMakeFiles/dcn_nas.dir/runner.cpp.o.d"
+  "CMakeFiles/dcn_nas.dir/search_space.cpp.o"
+  "CMakeFiles/dcn_nas.dir/search_space.cpp.o.d"
+  "CMakeFiles/dcn_nas.dir/selection.cpp.o"
+  "CMakeFiles/dcn_nas.dir/selection.cpp.o.d"
+  "CMakeFiles/dcn_nas.dir/strategy.cpp.o"
+  "CMakeFiles/dcn_nas.dir/strategy.cpp.o.d"
+  "CMakeFiles/dcn_nas.dir/trial.cpp.o"
+  "CMakeFiles/dcn_nas.dir/trial.cpp.o.d"
+  "libdcn_nas.a"
+  "libdcn_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/dcn_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/dcn_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/dcn_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/dcn_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/dcn_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/dcn_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/dcn_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/dcn_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/dcn_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/dcn_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/dcn_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/nn/CMakeFiles/dcn_nn.dir/sgd.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/sgd.cpp.o.d"
+  "/root/repo/src/nn/spp.cpp" "src/nn/CMakeFiles/dcn_nn.dir/spp.cpp.o" "gcc" "src/nn/CMakeFiles/dcn_nn.dir/spp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

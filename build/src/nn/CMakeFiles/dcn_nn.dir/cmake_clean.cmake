@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_nn.dir/activations.cpp.o"
+  "CMakeFiles/dcn_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/dcn_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/dcn_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/dcn_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/init.cpp.o"
+  "CMakeFiles/dcn_nn.dir/init.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/linear.cpp.o"
+  "CMakeFiles/dcn_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/loss.cpp.o"
+  "CMakeFiles/dcn_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/module.cpp.o"
+  "CMakeFiles/dcn_nn.dir/module.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/norm.cpp.o"
+  "CMakeFiles/dcn_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/pool.cpp.o"
+  "CMakeFiles/dcn_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/sequential.cpp.o"
+  "CMakeFiles/dcn_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/sgd.cpp.o"
+  "CMakeFiles/dcn_nn.dir/sgd.cpp.o.d"
+  "CMakeFiles/dcn_nn.dir/spp.cpp.o"
+  "CMakeFiles/dcn_nn.dir/spp.cpp.o.d"
+  "libdcn_nn.a"
+  "libdcn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/recorder.cpp" "src/profiler/CMakeFiles/dcn_profiler.dir/recorder.cpp.o" "gcc" "src/profiler/CMakeFiles/dcn_profiler.dir/recorder.cpp.o.d"
+  "/root/repo/src/profiler/report.cpp" "src/profiler/CMakeFiles/dcn_profiler.dir/report.cpp.o" "gcc" "src/profiler/CMakeFiles/dcn_profiler.dir/report.cpp.o.d"
+  "/root/repo/src/profiler/trace.cpp" "src/profiler/CMakeFiles/dcn_profiler.dir/trace.cpp.o" "gcc" "src/profiler/CMakeFiles/dcn_profiler.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_profiler.dir/recorder.cpp.o"
+  "CMakeFiles/dcn_profiler.dir/recorder.cpp.o.d"
+  "CMakeFiles/dcn_profiler.dir/report.cpp.o"
+  "CMakeFiles/dcn_profiler.dir/report.cpp.o.d"
+  "CMakeFiles/dcn_profiler.dir/trace.cpp.o"
+  "CMakeFiles/dcn_profiler.dir/trace.cpp.o.d"
+  "libdcn_profiler.a"
+  "libdcn_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgpu/cost_model.cpp" "src/simgpu/CMakeFiles/dcn_simgpu.dir/cost_model.cpp.o" "gcc" "src/simgpu/CMakeFiles/dcn_simgpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simgpu/device.cpp" "src/simgpu/CMakeFiles/dcn_simgpu.dir/device.cpp.o" "gcc" "src/simgpu/CMakeFiles/dcn_simgpu.dir/device.cpp.o.d"
+  "/root/repo/src/simgpu/kernels.cpp" "src/simgpu/CMakeFiles/dcn_simgpu.dir/kernels.cpp.o" "gcc" "src/simgpu/CMakeFiles/dcn_simgpu.dir/kernels.cpp.o.d"
+  "/root/repo/src/simgpu/memory.cpp" "src/simgpu/CMakeFiles/dcn_simgpu.dir/memory.cpp.o" "gcc" "src/simgpu/CMakeFiles/dcn_simgpu.dir/memory.cpp.o.d"
+  "/root/repo/src/simgpu/spec.cpp" "src/simgpu/CMakeFiles/dcn_simgpu.dir/spec.cpp.o" "gcc" "src/simgpu/CMakeFiles/dcn_simgpu.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/dcn_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dcn_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dcn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_simgpu.dir/cost_model.cpp.o"
+  "CMakeFiles/dcn_simgpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dcn_simgpu.dir/device.cpp.o"
+  "CMakeFiles/dcn_simgpu.dir/device.cpp.o.d"
+  "CMakeFiles/dcn_simgpu.dir/kernels.cpp.o"
+  "CMakeFiles/dcn_simgpu.dir/kernels.cpp.o.d"
+  "CMakeFiles/dcn_simgpu.dir/memory.cpp.o"
+  "CMakeFiles/dcn_simgpu.dir/memory.cpp.o.d"
+  "CMakeFiles/dcn_simgpu.dir/spec.cpp.o"
+  "CMakeFiles/dcn_simgpu.dir/spec.cpp.o.d"
+  "libdcn_simgpu.a"
+  "libdcn_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

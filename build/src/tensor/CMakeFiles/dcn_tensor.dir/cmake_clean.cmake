@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/dcn_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/dcn_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/dcn_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/dcn_tensor.dir/ops.cpp.o"
+  "CMakeFiles/dcn_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/dcn_tensor.dir/reduce.cpp.o"
+  "CMakeFiles/dcn_tensor.dir/reduce.cpp.o.d"
+  "CMakeFiles/dcn_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/dcn_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/dcn_tensor.dir/shape.cpp.o"
+  "CMakeFiles/dcn_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/dcn_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dcn_tensor.dir/tensor.cpp.o.d"
+  "libdcn_tensor.a"
+  "libdcn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rng.dir/test_core_rng.cpp.o"
+  "CMakeFiles/test_core_rng.dir/test_core_rng.cpp.o.d"
+  "test_core_rng"
+  "test_core_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_util.dir/test_core_util.cpp.o"
+  "CMakeFiles/test_core_util.dir/test_core_util.cpp.o.d"
+  "test_core_util"
+  "test_core_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dem_channel.dir/test_dem_channel.cpp.o"
+  "CMakeFiles/test_dem_channel.dir/test_dem_channel.cpp.o.d"
+  "test_dem_channel"
+  "test_dem_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dem_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_config.dir/test_detect_config.cpp.o"
+  "CMakeFiles/test_detect_config.dir/test_detect_config.cpp.o.d"
+  "test_detect_config"
+  "test_detect_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

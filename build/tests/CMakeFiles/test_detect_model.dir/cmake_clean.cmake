@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_model.dir/test_detect_model.cpp.o"
+  "CMakeFiles/test_detect_model.dir/test_detect_model.cpp.o.d"
+  "test_detect_model"
+  "test_detect_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions3.dir/test_extensions3.cpp.o"
+  "CMakeFiles/test_extensions3.dir/test_extensions3.cpp.o.d"
+  "test_extensions3"
+  "test_extensions3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

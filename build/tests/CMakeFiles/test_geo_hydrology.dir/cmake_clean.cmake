@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo_hydrology.dir/test_geo_hydrology.cpp.o"
+  "CMakeFiles/test_geo_hydrology.dir/test_geo_hydrology.cpp.o.d"
+  "test_geo_hydrology"
+  "test_geo_hydrology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo_hydrology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

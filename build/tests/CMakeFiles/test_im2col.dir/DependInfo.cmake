@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_im2col.cpp" "tests/CMakeFiles/test_im2col.dir/test_im2col.cpp.o" "gcc" "tests/CMakeFiles/test_im2col.dir/test_im2col.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nas/CMakeFiles/dcn_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/ios/CMakeFiles/dcn_ios.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/dcn_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dcn_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dcn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/dcn_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ios.dir/test_ios.cpp.o"
+  "CMakeFiles/test_ios.dir/test_ios.cpp.o.d"
+  "test_ios"
+  "test_ios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_reduce.dir/test_ops_reduce.cpp.o"
+  "CMakeFiles/test_ops_reduce.dir/test_ops_reduce.cpp.o.d"
+  "test_ops_reduce"
+  "test_ops_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

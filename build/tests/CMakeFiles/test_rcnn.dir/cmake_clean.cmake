@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcnn.dir/test_rcnn.cpp.o"
+  "CMakeFiles/test_rcnn.dir/test_rcnn.cpp.o.d"
+  "test_rcnn"
+  "test_rcnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

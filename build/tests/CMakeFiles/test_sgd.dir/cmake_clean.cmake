@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgd.dir/test_sgd.cpp.o"
+  "CMakeFiles/test_sgd.dir/test_sgd.cpp.o.d"
+  "test_sgd"
+  "test_sgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

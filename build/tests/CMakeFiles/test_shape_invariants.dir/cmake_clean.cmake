@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shape_invariants.dir/test_shape_invariants.cpp.o"
+  "CMakeFiles/test_shape_invariants.dir/test_shape_invariants.cpp.o.d"
+  "test_shape_invariants"
+  "test_shape_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shape_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
