@@ -1,0 +1,91 @@
+// Guard benchmark for the fault-injection hooks: a device with no fault
+// plan attached must execute at (effectively) the same speed as the
+// pre-fault-layer device — the check is a null-pointer test. Also measures
+// the attached-but-quiet case (rules that never fire) and the full
+// resilient-session wrapper, so regressions in the hot path show up here
+// before they show up in campaign wall-clock.
+#include <benchmark/benchmark.h>
+
+#include "detect/sppnet_config.hpp"
+#include "graph/builder.hpp"
+#include "ios/executor.hpp"
+#include "ios/scheduler.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/faults.hpp"
+
+namespace {
+
+using namespace dcn;
+
+simgpu::KernelDesc small_kernel() {
+  simgpu::KernelDesc k;
+  k.name = "k";
+  k.category = profiler::KernelCategory::kConv;
+  k.flops_per_sample = 1e8;
+  k.activation_bytes_per_sample = 1e6;
+  k.weight_bytes = 1e5;
+  k.threads_per_sample = 1e4;
+  return k;
+}
+
+void run_session(simgpu::Device& device, int stages) {
+  device.reset_clocks();
+  device.load_library(1);
+  for (int i = 0; i < stages; ++i) {
+    device.run_stage({{small_kernel()}}, 1);
+  }
+  device.synchronize();
+}
+
+// Baseline: no fault plan attached (the default for every pre-existing
+// caller). The injector hook must be a branch on a null unique_ptr.
+void BM_DeviceNoFaultPlan(benchmark::State& state) {
+  simgpu::Device device(simgpu::a5500_spec());
+  for (auto _ : state) {
+    run_session(device, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(device.host_time());
+  }
+}
+BENCHMARK(BM_DeviceNoFaultPlan)->Arg(16)->Arg(64);
+
+// Attached plan whose rules can never fire (probability 0): pays the
+// injector bookkeeping but draws no faults.
+void BM_DeviceQuietFaultPlan(benchmark::State& state) {
+  simgpu::Device device(simgpu::a5500_spec());
+  simgpu::FaultPlan plan;
+  plan.fail_with_probability(simgpu::FaultKind::kLaunchFailure, 0.0);
+  device.set_fault_plan(plan);
+  for (auto _ : state) {
+    run_session(device, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(device.host_time());
+  }
+}
+BENCHMARK(BM_DeviceQuietFaultPlan)->Arg(16)->Arg(64);
+
+void BM_MeasureLatencyPlain(benchmark::State& state) {
+  const graph::Graph g =
+      graph::build_inference_graph(detect::sppnet_candidate2(), 40);
+  const ios::Schedule schedule = ios::sequential_schedule(g);
+  for (auto _ : state) {
+    simgpu::Device device(simgpu::a5500_spec());
+    benchmark::DoNotOptimize(
+        ios::measure_latency(g, schedule, device, 1, 1, 3));
+  }
+}
+BENCHMARK(BM_MeasureLatencyPlain);
+
+// The resilient wrapper on a fault-free device: the overhead of the retry
+// scaffolding itself (stats, lambdas, exception-free happy path).
+void BM_MeasureLatencyResilientNoFaults(benchmark::State& state) {
+  const graph::Graph g =
+      graph::build_inference_graph(detect::sppnet_candidate2(), 40);
+  const ios::Schedule schedule = ios::sequential_schedule(g);
+  for (auto _ : state) {
+    simgpu::Device device(simgpu::a5500_spec());
+    benchmark::DoNotOptimize(ios::measure_latency_resilient(
+        g, schedule, device, 1, 1, 3, ios::ResilientOptions{}));
+  }
+}
+BENCHMARK(BM_MeasureLatencyResilientNoFaults);
+
+}  // namespace

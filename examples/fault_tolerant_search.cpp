@@ -1,0 +1,115 @@
+// Crash-tolerant NAS campaign under injected GPU faults.
+//
+// Demonstrates the robustness layer end to end: a seeded fault plan makes
+// the simulated A5500 misbehave (transient launch failures, slow or
+// corrupted PCIe transfers, spurious allocation failures, hung syncs), a
+// flaky evaluator crashes on some trials, and the runner still completes
+// the campaign — retrying transient faults, recording hard failures as
+// TrialStatus::failed, and checkpointing the database so an interrupted
+// campaign resumes from disk instead of restarting.
+//
+//   fault_tolerant_search --trials 12 --checkpoint campaign.csv
+//       --faults 'launch:p=0.2;memcpy_slow:p=0.1,factor=6'
+//   # kill it mid-run, then add --resume to continue from the checkpoint.
+#include <cstdio>
+#include <string>
+
+#include "core/cli.hpp"
+#include "core/error.hpp"
+#include "core/table.hpp"
+#include "nas/runner.hpp"
+#include "nas/selection.hpp"
+#include "simgpu/faults.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  CliFlags flags("fault_tolerant_search",
+                 "NAS campaign that survives injected GPU faults and "
+                 "evaluator crashes");
+  flags.add_int("trials", 12, "number of NAS trials");
+  flags.add_int("seed", 2023, "search strategy seed");
+  // ~18 launches per inference: p=0.03 faults roughly every other
+  // measurement run, which the session retries absorb most of the time.
+  flags.add_string("faults", "launch:p=0.03;memcpy_slow:p=0.05,factor=6",
+                   "fault plan spec: kind:key=value[,k=v];... with kinds "
+                   "launch, memcpy_corrupt, memcpy_slow, alloc, sync_hang");
+  flags.add_int("fault-seed", 7, "fault injector seed");
+  flags.add_int("retries", 2,
+                "extra whole-trial attempts after a retryable fault");
+  flags.add_int("crash-every", 5,
+                "evaluator throws on every Nth trial (0 = never)");
+  flags.add_string("checkpoint", "fault_campaign.csv",
+                   "checkpoint CSV (written every trial; empty disables)");
+  flags.add_bool("resume", false, "resume from --checkpoint if it exists");
+  if (!flags.parse(argc, argv)) return 0;
+
+  nas::RunnerConfig config;
+  config.max_trials = static_cast<int>(flags.get_int("trials"));
+  config.input_size = 40;
+  config.faults = simgpu::FaultPlan::parse(
+      flags.get_string("faults"),
+      static_cast<std::uint64_t>(flags.get_int("fault-seed")));
+  config.trial_retries = static_cast<int>(flags.get_int("retries"));
+  config.resilient.retry.max_attempts = 4;
+  // Watchdog for sync_hang faults: without it a hang only stalls the
+  // virtual clock; with it the session gets a TimeoutError and resets.
+  config.resilient.sync_timeout = 0.05;
+  config.checkpoint_path = flags.get_string("checkpoint");
+  std::printf("fault plan: %zu rule(s), injector seed %llu\n",
+              config.faults.rules.size(),
+              static_cast<unsigned long long>(config.faults.seed));
+
+  // A cheap proxy evaluator that "crashes" periodically, standing in for
+  // a training job that dies (OOM, preemption, NaN loss, ...).
+  const auto crash_every = flags.get_int("crash-every");
+  int evaluations = 0;
+  const nas::Evaluator evaluator = [&](const detect::SppNetConfig& model) {
+    ++evaluations;
+    if (crash_every > 0 && evaluations % crash_every == 0) {
+      throw Error("evaluator crash (simulated training failure) on call " +
+                  std::to_string(evaluations));
+    }
+    // Larger models score slightly higher: enough signal for selection.
+    return 0.8 + 0.1 / (1.0 + 1e6 / static_cast<double>(
+                                  model.parameter_count()));
+  };
+
+  nas::RandomSearchStrategy strategy(
+      nas::SearchSpace{}, static_cast<std::uint64_t>(flags.get_int("seed")));
+
+  nas::TrialDatabase resume_from;
+  if (flags.get_bool("resume") && !config.checkpoint_path.empty()) {
+    resume_from = nas::load_checkpoint(config.checkpoint_path);
+    std::printf("resuming: %zu trial(s) restored from %s\n",
+                resume_from.size(), config.checkpoint_path.c_str());
+  }
+
+  const nas::TrialDatabase db =
+      nas::run_multi_trial(strategy, evaluator, config, resume_from);
+
+  TextTable table({"Trial", "Architecture", "Status", "Attempts", "AP",
+                   "Throughput"});
+  for (const nas::Trial& t : db.trials()) {
+    table.add_row({std::to_string(t.index), t.point.to_string(),
+                   nas::trial_status_name(t.status),
+                   std::to_string(t.attempts),
+                   t.ok() ? format_percent(t.metrics.average_precision) : "-",
+                   t.ok() ? format_double(t.metrics.throughput, 0) + " img/s"
+                          : t.failure_reason.substr(0, 32)});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("campaign: %zu trials, %zu failed (excluded from selection)\n",
+              db.size(), db.num_failed());
+
+  if (const auto best = db.best_by_accuracy()) {
+    std::printf("best surviving trial: %d [%s], AP %s\n", best->index,
+                best->point.to_string().c_str(),
+                format_percent(best->metrics.average_precision).c_str());
+  }
+  if (!config.checkpoint_path.empty()) {
+    std::printf("checkpoint in %s — rerun with --resume after an "
+                "interruption\n",
+                config.checkpoint_path.c_str());
+  }
+  return 0;
+}

@@ -33,6 +33,16 @@ int main(int argc, char** argv) {
   flags.add_string("csv", "nas_trials.csv", "trial export path");
   flags.add_string("experiment", "nas_experiment.txt",
                    "experiment record (reloadable via nas::load_experiment)");
+  flags.add_string("faults", "",
+                   "fault plan, e.g. 'launch:p=0.05;memcpy_slow:at=3' "
+                   "(empty = no injection)");
+  flags.add_int("fault-seed", 2023, "fault injector seed");
+  flags.add_int("trial-retries", 1,
+                "extra whole-trial attempts after a retryable fault");
+  flags.add_string("checkpoint", "",
+                   "checkpoint CSV path (enables periodic checkpointing)");
+  flags.add_bool("resume", false,
+                 "resume the campaign from --checkpoint if it exists");
   if (!flags.parse(argc, argv)) return 0;
 
   // Shared dataset across trials (as the paper trains every candidate on
@@ -75,8 +85,26 @@ int main(int argc, char** argv) {
   nas::RunnerConfig runner_config;
   runner_config.max_trials = static_cast<int>(flags.get_int("trials"));
   runner_config.input_size = data_config.patch_size;
+  runner_config.faults = simgpu::FaultPlan::parse(
+      flags.get_string("faults"),
+      static_cast<std::uint64_t>(flags.get_int("fault-seed")));
+  runner_config.trial_retries =
+      static_cast<int>(flags.get_int("trial-retries"));
+  runner_config.checkpoint_path = flags.get_string("checkpoint");
+  nas::TrialDatabase resume_from;
+  if (flags.get_bool("resume") && !runner_config.checkpoint_path.empty()) {
+    resume_from = nas::load_checkpoint(runner_config.checkpoint_path);
+    if (resume_from.size() > 0) {
+      std::printf("resuming from %s: %zu completed trial(s)\n",
+                  runner_config.checkpoint_path.c_str(), resume_from.size());
+    }
+  }
   const nas::TrialDatabase db =
-      nas::run_multi_trial(*strategy, evaluator, runner_config);
+      nas::run_multi_trial(*strategy, evaluator, runner_config, resume_from);
+  if (db.num_failed() > 0) {
+    std::printf("%zu trial(s) failed and were excluded from selection\n",
+                db.num_failed());
+  }
 
   TextTable table({"Trial", "Architecture", "AP", "Optimized latency",
                    "Throughput"});

@@ -6,6 +6,7 @@
 // guards internal invariants on hot paths.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -28,6 +29,64 @@ class ShapeError : public Error {
 class ConfigError : public Error {
  public:
   explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when the (simulated) device reports a fault. Mirrors the CUDA
+/// error taxonomy: `retryable()` marks transient faults the caller may
+/// retry after backoff (cudaErrorLaunchFailure, spurious copy errors);
+/// `requires_reset()` marks device-loss faults (hangs, Xid events) where
+/// the device must be hard-reset and state re-uploaded before reuse.
+class DeviceFault : public Error {
+ public:
+  DeviceFault(const std::string& what, bool retryable,
+              bool requires_reset = false)
+      : Error(what), retryable_(retryable), requires_reset_(requires_reset) {}
+
+  bool retryable() const { return retryable_; }
+  bool requires_reset() const { return requires_reset_; }
+
+ private:
+  bool retryable_;
+  bool requires_reset_;
+};
+
+/// Device allocation failure (cudaErrorMemoryAllocation). Carries the
+/// allocator context so callers can log or adapt batch sizes. Genuine
+/// capacity exhaustion is fatal (not retryable); injected/spurious
+/// allocator failures are transient.
+class OutOfMemoryError : public DeviceFault {
+ public:
+  OutOfMemoryError(const std::string& what, std::int64_t requested_bytes,
+                   std::int64_t live_bytes, std::int64_t capacity_bytes,
+                   bool retryable = false)
+      : DeviceFault(what, retryable),
+        requested_bytes_(requested_bytes),
+        live_bytes_(live_bytes),
+        capacity_bytes_(capacity_bytes) {}
+
+  std::int64_t requested_bytes() const { return requested_bytes_; }
+  std::int64_t live_bytes() const { return live_bytes_; }
+  std::int64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  std::int64_t requested_bytes_;
+  std::int64_t live_bytes_;
+  std::int64_t capacity_bytes_;
+};
+
+/// A wait exceeded its deadline (device hang / watchdog timeout, the
+/// software analog of an Xid-13/Xid-79 event). Always requires a device
+/// reset; retryable after that reset.
+class TimeoutError : public DeviceFault {
+ public:
+  TimeoutError(const std::string& what, double timeout_seconds)
+      : DeviceFault(what, /*retryable=*/true, /*requires_reset=*/true),
+        timeout_seconds_(timeout_seconds) {}
+
+  double timeout_seconds() const { return timeout_seconds_; }
+
+ private:
+  double timeout_seconds_;
 };
 
 namespace detail {

@@ -1,0 +1,33 @@
+#include "core/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dcn {
+
+double backoff_delay(const RetryPolicy& policy, int retry, Rng& rng) {
+  DCN_CHECK(retry >= 1) << "retry index " << retry;
+  DCN_CHECK(policy.base_backoff >= 0.0) << "negative base_backoff";
+  DCN_CHECK(policy.jitter >= 0.0 && policy.jitter < 1.0)
+      << "jitter " << policy.jitter;
+  double delay = policy.base_backoff * std::pow(policy.multiplier, retry - 1);
+  delay = std::min(delay, policy.max_backoff);
+  if (policy.jitter > 0.0) {
+    delay *= rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  }
+  return delay;
+}
+
+bool is_retryable(const std::exception& error) {
+  const auto* fault = dynamic_cast<const DeviceFault*>(&error);
+  return fault != nullptr && fault->retryable();
+}
+
+bool requires_reset(const std::exception& error) {
+  const auto* fault = dynamic_cast<const DeviceFault*>(&error);
+  return fault != nullptr && fault->requires_reset();
+}
+
+}  // namespace dcn

@@ -1,0 +1,70 @@
+// Bounded retry with exponential backoff on the virtual clock.
+//
+// Fault recovery everywhere in the library (ResilientSession re-running a
+// faulted inference, the NAS runner re-attempting a failed trial) goes
+// through one policy so backoff behaviour is uniform and testable. Delays
+// are virtual-clock seconds: callers advance the simulated device's host
+// clock rather than sleeping, which keeps retry tests instant and
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "core/rng.hpp"
+
+namespace dcn {
+
+struct RetryPolicy {
+  /// Total attempts including the first (>= 1). 1 disables retries.
+  int max_attempts = 3;
+  /// Delay before the first retry (virtual seconds).
+  double base_backoff = 1.0e-3;
+  /// Geometric growth factor per retry.
+  double multiplier = 2.0;
+  /// Upper bound on a single delay.
+  double max_backoff = 1.0;
+  /// Jitter fraction in [0, 1): each delay is scaled by a uniform factor
+  /// in [1 - jitter, 1 + jitter). 0 keeps delays exact (tests rely on it).
+  double jitter = 0.0;
+};
+
+/// Delay before retry number `retry` (1-based):
+/// min(base * multiplier^(retry-1), max_backoff) * jitter_factor(rng).
+double backoff_delay(const RetryPolicy& policy, int retry, Rng& rng);
+
+/// Counters a retry loop accumulates (exact under jitter = 0).
+struct RetryStats {
+  int attempts = 0;
+  int retries = 0;
+  double backoff_seconds = 0.0;
+  std::string last_error;
+};
+
+/// True when `error` is a transient DeviceFault worth retrying.
+bool is_retryable(const std::exception& error);
+
+/// True when recovery must hard-reset the device first (hang / device loss).
+bool requires_reset(const std::exception& error);
+
+/// Run `fn` under `policy`. Before each retry, `on_retry(error, retry)` runs
+/// (recovery hook: reset/re-init plus the backoff sleep; `retry` is 1-based).
+/// Non-retryable errors and exhausted policies rethrow the last error.
+template <typename Fn, typename OnRetry>
+auto with_retries(const RetryPolicy& policy, RetryStats& stats, Fn&& fn,
+                  OnRetry&& on_retry) -> decltype(fn()) {
+  for (int attempt = 1;; ++attempt) {
+    ++stats.attempts;
+    try {
+      return fn();
+    } catch (const std::exception& error) {
+      stats.last_error = error.what();
+      if (!is_retryable(error) || attempt >= policy.max_attempts) throw;
+      ++stats.retries;
+      on_retry(error, attempt);
+    }
+  }
+}
+
+}  // namespace dcn

@@ -74,10 +74,34 @@ RunResult InferenceSession::run(std::int64_t batch) {
   return result;
 }
 
+namespace {
+
+void validate_measure_args(std::int64_t batch, int warmup, int repeats) {
+  if (repeats < 1) {
+    throw ConfigError("measure_latency: repeats must be >= 1, got " +
+                      std::to_string(repeats));
+  }
+  if (warmup < 0) {
+    throw ConfigError("measure_latency: warmup must be >= 0, got " +
+                      std::to_string(warmup));
+  }
+  if (batch < 1) {
+    throw ConfigError("measure_latency: batch must be >= 1, got " +
+                      std::to_string(batch));
+  }
+}
+
+double median(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
 double measure_latency(const graph::Graph& graph, const Schedule& schedule,
                        simgpu::Device& device, std::int64_t batch, int warmup,
                        int repeats) {
-  DCN_CHECK(repeats >= 1) << "repeats";
+  validate_measure_args(batch, warmup, repeats);
   InferenceSession session(graph, schedule, device);
   session.initialize();
   for (int i = 0; i < warmup; ++i) (void)session.run(batch);
@@ -87,8 +111,115 @@ double measure_latency(const graph::Graph& graph, const Schedule& schedule,
   for (int i = 0; i < repeats; ++i) {
     samples.push_back(session.run(batch).latency_seconds);
   }
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
+  return median(samples);
+}
+
+ResilientSession::ResilientSession(const graph::Graph& graph,
+                                   Schedule schedule, simgpu::Device& device,
+                                   ResilientOptions options)
+    : session_(graph, std::move(schedule), device),
+      device_(device),
+      options_(options),
+      backoff_rng_(options.backoff_seed) {
+  device_.set_sync_timeout(options_.sync_timeout);
+}
+
+void ResilientSession::recover(const std::exception& error, int retry) {
+  // Device loss: drop the wedged queue and all device state, then rebuild.
+  // Any fault during (re-)initialization also lands here with a full reset,
+  // so a partially-initialized session is never reused.
+  if (requires_reset(error) || !session_.initialized()) {
+    device_.hard_reset();
+    session_.invalidate();
+    session_.initialize();
+    ++stats_.reinitializations;
+    device_.record_recovery("reinitialize", 0.0,
+                            std::string("device reset after: ") +
+                                error.what());
+  }
+  const double delay = backoff_delay(options_.retry, retry, backoff_rng_);
+  device_.advance_host(delay);
+  stats_.backoff_seconds += delay;
+  device_.record_recovery("retry", delay,
+                          "retry " + std::to_string(retry) + " after: " +
+                              error.what());
+}
+
+void ResilientSession::initialize() {
+  RetryStats retry_stats;
+  with_retries(
+      options_.retry, retry_stats, [&] { session_.initialize(); },
+      [&](const std::exception& error, int retry) {
+        // Roll back partial setup (leaked weight buffers, half-loaded
+        // library) before trying again.
+        device_.hard_reset();
+        session_.invalidate();
+        ++stats_.reinitializations;
+        const double delay =
+            backoff_delay(options_.retry, retry, backoff_rng_);
+        device_.advance_host(delay);
+        stats_.backoff_seconds += delay;
+        device_.record_recovery("retry", delay,
+                                "initialize retry " + std::to_string(retry) +
+                                    " after: " + error.what());
+      });
+  stats_.transient_retries += retry_stats.retries;
+}
+
+RunResult ResilientSession::run(std::int64_t batch) {
+  ++stats_.runs;
+  RetryStats retry_stats;
+  try {
+    const RunResult result = with_retries(
+        options_.retry, retry_stats, [&] { return session_.run(batch); },
+        [&](const std::exception& error, int retry) {
+          recover(error, retry);
+        });
+    stats_.transient_retries += retry_stats.retries;
+    ++stats_.completed;
+    return result;
+  } catch (const std::exception& error) {
+    stats_.transient_retries += retry_stats.retries;
+    stats_.last_error = error.what();
+    throw;
+  }
+}
+
+std::optional<RunResult> ResilientSession::try_run(std::int64_t batch) {
+  try {
+    return run(batch);
+  } catch (const Error&) {
+    ++stats_.degraded;
+    return std::nullopt;
+  }
+}
+
+double measure_latency_resilient(const graph::Graph& graph,
+                                 const Schedule& schedule,
+                                 simgpu::Device& device, std::int64_t batch,
+                                 int warmup, int repeats,
+                                 const ResilientOptions& options,
+                                 SessionStats* stats_out) {
+  validate_measure_args(batch, warmup, repeats);
+  ResilientSession session(graph, schedule, device, options);
+  session.initialize();
+  for (int i = 0; i < warmup; ++i) (void)session.try_run(batch);
+  device.reset_clocks();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    if (const auto result = session.try_run(batch)) {
+      samples.push_back(result->latency_seconds);
+    }
+  }
+  if (stats_out != nullptr) *stats_out = session.stats();
+  if (samples.empty()) {
+    throw DeviceFault("measure_latency_resilient: all " +
+                          std::to_string(repeats) + " repeats failed (last: " +
+                          session.stats().last_error + ")",
+                      /*retryable=*/true);
+  }
+  return median(samples);
 }
 
 }  // namespace dcn::ios

@@ -10,7 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
+#include "core/retry.hpp"
+#include "core/rng.hpp"
 #include "ios/schedule.hpp"
 #include "simgpu/device.hpp"
 
@@ -35,6 +39,11 @@ class InferenceSession {
   /// One inference at `batch`. Requires initialize().
   RunResult run(std::int64_t batch);
 
+  /// Forget initialization state (after a device hard_reset dropped the
+  /// library and weights); the next initialize() re-uploads everything.
+  void invalidate() { initialized_ = false; }
+  bool initialized() const { return initialized_; }
+
   const Schedule& schedule() const { return schedule_; }
 
  private:
@@ -50,9 +59,77 @@ class InferenceSession {
 /// Warm-up then measure: median of `repeats` runs (deterministic on the
 /// simulator, but the harness keeps the standard shape). Resets the device
 /// clocks first so initialization cost is excluded, as in the paper's
-/// Table 2 / Figure 6 timing.
+/// Table 2 / Figure 6 timing. Throws ConfigError for repeats < 1,
+/// warmup < 0, or batch < 1.
 double measure_latency(const graph::Graph& graph, const Schedule& schedule,
                        simgpu::Device& device, std::int64_t batch,
                        int warmup = 1, int repeats = 3);
+
+// --- Resilient execution ---------------------------------------------------
+
+struct ResilientOptions {
+  /// Per-run retry budget for transient faults (launch failures, copy
+  /// corruption, spurious allocation failures).
+  RetryPolicy retry;
+  /// Watchdog for synchronize() waits, virtual seconds (0 disables). A
+  /// hung device trips it, gets hard-reset, and the run is retried.
+  double sync_timeout = 0.0;
+  /// Seed for backoff jitter (only drawn when retry.jitter > 0).
+  std::uint64_t backoff_seed = 0x5eed;
+};
+
+/// Degradation statistics a resilient session accumulates across runs.
+struct SessionStats {
+  std::int64_t runs = 0;       // run()/try_run() calls
+  std::int64_t completed = 0;  // runs that produced a result
+  std::int64_t degraded = 0;   // try_run() failures swallowed
+  int transient_retries = 0;   // faulted attempts that were retried
+  int reinitializations = 0;   // device hard-resets + state re-uploads
+  double backoff_seconds = 0.0;
+  std::string last_error;
+};
+
+/// InferenceSession wrapper with failure semantics: transient device faults
+/// are retried with exponential backoff on the virtual clock; device-loss
+/// faults (hangs tripping the sync timeout) hard-reset the device and
+/// re-upload state before retrying. Every retry and re-init is recorded as
+/// a profiler trace event. run() throws only once the retry budget is
+/// exhausted or a fatal fault occurs; try_run() degrades gracefully to
+/// nullopt and counts the loss in stats().
+class ResilientSession {
+ public:
+  ResilientSession(const graph::Graph& graph, Schedule schedule,
+                   simgpu::Device& device, ResilientOptions options = {});
+
+  /// Resilient initialize: any fault during setup resets the device and
+  /// starts over (partial initialization is never reused).
+  void initialize();
+
+  RunResult run(std::int64_t batch);
+  std::optional<RunResult> try_run(std::int64_t batch);
+
+  const SessionStats& stats() const { return stats_; }
+  const ResilientOptions& options() const { return options_; }
+
+ private:
+  void recover(const std::exception& error, int retry);
+
+  InferenceSession session_;
+  simgpu::Device& device_;
+  ResilientOptions options_;
+  Rng backoff_rng_;
+  SessionStats stats_;
+};
+
+/// measure_latency through a ResilientSession: transient faults retried,
+/// device loss recovered, failed repeats dropped (graceful degradation).
+/// Returns the median of the completed repeats; throws when every repeat
+/// failed. `stats_out`, when non-null, receives the session statistics.
+double measure_latency_resilient(const graph::Graph& graph,
+                                 const Schedule& schedule,
+                                 simgpu::Device& device, std::int64_t batch,
+                                 int warmup, int repeats,
+                                 const ResilientOptions& options,
+                                 SessionStats* stats_out = nullptr);
 
 }  // namespace dcn::ios

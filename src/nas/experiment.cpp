@@ -9,7 +9,7 @@ namespace dcn::nas {
 
 std::string serialize_experiment(const TrialDatabase& database) {
   std::ostringstream os;
-  os << "nas-experiment v1\n";
+  os << "nas-experiment v2\n";
   os.precision(17);
   for (const Trial& t : database.trials()) {
     os << "trial " << t.index << " conv1 " << t.point.conv1_kernel << " spp "
@@ -18,7 +18,18 @@ std::string serialize_experiment(const TrialDatabase& database) {
     os << " ap " << t.metrics.average_precision << " seq "
        << t.metrics.sequential_latency << " opt "
        << t.metrics.optimized_latency << " tput " << t.metrics.throughput
-       << " params " << t.metrics.parameter_count << '\n';
+       << " params " << t.metrics.parameter_count << " status "
+       << trial_status_name(t.status) << " attempts " << t.attempts;
+    if (!t.failure_reason.empty()) {
+      // `reason` consumes the rest of the line (messages contain spaces);
+      // newlines are flattened to keep the format line-oriented.
+      std::string reason = t.failure_reason;
+      for (char& ch : reason) {
+        if (ch == '\n' || ch == '\r') ch = ' ';
+      }
+      os << " reason " << reason;
+    }
+    os << '\n';
   }
   return os.str();
 }
@@ -26,7 +37,8 @@ std::string serialize_experiment(const TrialDatabase& database) {
 TrialDatabase deserialize_experiment(const std::string& text) {
   std::istringstream is(text);
   std::string line;
-  DCN_CHECK(std::getline(is, line) && line == "nas-experiment v1")
+  DCN_CHECK(std::getline(is, line) &&
+            (line == "nas-experiment v1" || line == "nas-experiment v2"))
       << "bad experiment header '" << line << "'";
   TrialDatabase database;
   while (std::getline(is, line)) {
@@ -66,6 +78,25 @@ TrialDatabase deserialize_experiment(const std::string& text) {
     expect("params");
     DCN_CHECK(static_cast<bool>(ls >> t.metrics.parameter_count))
         << "params";
+    // v2 extensions; absent in v1 records (defaults: ok, 1 attempt).
+    std::string word;
+    if (ls >> word) {
+      DCN_CHECK(word == "status") << "expected 'status', got '" << word
+                                  << "'";
+      std::string status_name;
+      DCN_CHECK(static_cast<bool>(ls >> status_name)) << "status";
+      t.status = trial_status_from_name(status_name);
+      expect("attempts");
+      DCN_CHECK(static_cast<bool>(ls >> t.attempts)) << "attempts";
+      if (ls >> word) {
+        DCN_CHECK(word == "reason") << "expected 'reason', got '" << word
+                                    << "'";
+        std::getline(ls, t.failure_reason);
+        if (!t.failure_reason.empty() && t.failure_reason.front() == ' ') {
+          t.failure_reason.erase(0, 1);
+        }
+      }
+    }
     database.add(std::move(t));
   }
   return database;

@@ -1,15 +1,79 @@
 #include "nas/runner.hpp"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "core/error.hpp"
 #include "core/logging.hpp"
+#include "core/retry.hpp"
 #include "graph/builder.hpp"
-#include "ios/executor.hpp"
 #include "ios/scheduler.hpp"
 
 namespace dcn::nas {
 
+namespace {
+
+// splitmix64 finalizer: decorrelates per-trial injector seeds so trial k's
+// fault schedule is independent of trial k-1's, yet reproducible.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double measure(const graph::Graph& g, const ios::Schedule& schedule,
+               const RunnerConfig& config, std::uint64_t fault_salt) {
+  simgpu::Device device(config.device);
+  if (!config.faults.empty()) {
+    simgpu::FaultPlan plan = config.faults;
+    plan.seed = mix_seed(plan.seed, fault_salt);
+    device.set_fault_plan(plan);
+    ios::SessionStats stats;
+    const double latency = ios::measure_latency_resilient(
+        g, schedule, device, config.latency_batch, 1, 3, config.resilient,
+        &stats);
+    if (config.verbose &&
+        (stats.transient_retries > 0 || stats.reinitializations > 0)) {
+      DCN_LOG_INFO << "  recovered from " << stats.transient_retries
+                   << " transient fault(s), " << stats.reinitializations
+                   << " device reset(s) during measurement";
+    }
+    return latency;
+  }
+  return ios::measure_latency(g, schedule, device, config.latency_batch);
+}
+
+void write_checkpoint(const TrialDatabase& database,
+                      const std::string& path) {
+  // Temp-file + rename so a crash mid-write never corrupts the checkpoint
+  // a resume would read.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    DCN_CHECK(os.good()) << "cannot open checkpoint " << tmp;
+    os << database.to_csv();
+    os.flush();
+    DCN_CHECK(os.good()) << "write to " << tmp << " failed";
+  }
+  DCN_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0)
+      << "rename " << tmp << " -> " << path << " failed";
+}
+
+}  // namespace
+
+TrialDatabase load_checkpoint(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) return TrialDatabase();
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return TrialDatabase::from_csv(buffer.str());
+}
+
 TrialMetrics profile_architecture(const detect::SppNetConfig& model,
-                                  const RunnerConfig& config) {
+                                  const RunnerConfig& config,
+                                  int trial_index, int attempt) {
   const graph::Graph g =
       graph::build_inference_graph(model, config.input_size);
 
@@ -22,12 +86,14 @@ TrialMetrics profile_architecture(const detect::SppNetConfig& model,
   const ios::Schedule optimized =
       ios::optimize_schedule(g, config.device, options);
 
-  simgpu::Device device_seq(config.device);
-  metrics.sequential_latency = ios::measure_latency(
-      g, sequential, device_seq, config.latency_batch);
-  simgpu::Device device_opt(config.device);
-  metrics.optimized_latency = ios::measure_latency(
-      g, optimized, device_opt, config.latency_batch);
+  // One salt per (trial, attempt, schedule): retries see fresh transient
+  // faults, exactly as re-running on real hardware would.
+  const auto salt = static_cast<std::uint64_t>(trial_index) * 256 +
+                    static_cast<std::uint64_t>(attempt);
+  metrics.sequential_latency =
+      measure(g, sequential, config, 2 * salt);
+  metrics.optimized_latency =
+      measure(g, optimized, config, 2 * salt + 1);
   DCN_CHECK(metrics.optimized_latency > 0.0) << "zero latency";
   metrics.throughput =
       static_cast<double>(config.latency_batch) / metrics.optimized_latency;
@@ -37,9 +103,40 @@ TrialMetrics profile_architecture(const detect::SppNetConfig& model,
 TrialDatabase run_multi_trial(ExplorationStrategy& strategy,
                               const Evaluator& evaluator,
                               const RunnerConfig& config) {
+  return run_multi_trial(strategy, evaluator, config, TrialDatabase());
+}
+
+TrialDatabase run_multi_trial(ExplorationStrategy& strategy,
+                              const Evaluator& evaluator,
+                              const RunnerConfig& config,
+                              const TrialDatabase& resume_from) {
   DCN_CHECK(config.max_trials >= 1) << "max_trials";
+  DCN_CHECK(config.checkpoint_every >= 1) << "checkpoint_every";
   TrialDatabase database;
-  for (int i = 0; i < config.max_trials; ++i) {
+
+  // Fast-forward: re-propose each completed trial's point (validating the
+  // checkpoint matches this strategy/seed) and replay its fitness so the
+  // strategy's internal state — and hence every later proposal — matches
+  // the uninterrupted campaign.
+  for (const Trial& done : resume_from.trials()) {
+    if (static_cast<int>(database.size()) >= config.max_trials) break;
+    const auto point = strategy.next();
+    DCN_CHECK(point.has_value())
+        << "resume: strategy exhausted before checkpointed trial "
+        << done.index;
+    if (point->to_string() != done.point.to_string()) {
+      throw ConfigError(
+          "resume mismatch at trial " + std::to_string(done.index) +
+          ": checkpoint has [" + done.point.to_string() +
+          "] but the strategy proposed [" + point->to_string() +
+          "] — was the checkpoint produced with different seeds?");
+    }
+    strategy.report(*point, done.metrics.average_precision);
+    database.add(done);
+  }
+
+  for (int i = static_cast<int>(database.size()); i < config.max_trials;
+       ++i) {
     const auto point = strategy.next();
     if (!point) break;  // space exhausted
     const detect::SppNetConfig model = materialize(*point);
@@ -47,15 +144,53 @@ TrialDatabase run_multi_trial(ExplorationStrategy& strategy,
     Trial trial;
     trial.index = i;
     trial.point = *point;
-    trial.metrics = profile_architecture(model, config);
-    trial.metrics.average_precision = evaluator(model);
+    const int max_attempts = 1 + std::max(0, config.trial_retries);
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      trial.attempts = attempt;
+      try {
+        trial.metrics = profile_architecture(model, config, i, attempt);
+        trial.metrics.average_precision = evaluator(model);
+        trial.status =
+            attempt > 1 ? TrialStatus::kRetried : TrialStatus::kOk;
+        trial.failure_reason.clear();
+        break;
+      } catch (const std::exception& error) {
+        trial.status = TrialStatus::kFailed;
+        trial.failure_reason = error.what();
+        trial.metrics = TrialMetrics{};  // drop partial measurements
+        trial.metrics.parameter_count = model.parameter_count();
+        if (!is_retryable(error)) break;
+        if (config.verbose && attempt < max_attempts) {
+          DCN_LOG_WARN << "trial " << i << " attempt " << attempt
+                       << " failed (" << error.what() << "), retrying";
+        }
+      }
+    }
+    // Failed trials report fitness 0 so resumed and uninterrupted campaigns
+    // feed the strategy identically.
     strategy.report(*point, trial.metrics.average_precision);
     if (config.verbose) {
-      DCN_LOG_INFO << "trial " << i << " [" << point->to_string() << "]: AP "
-                   << trial.metrics.average_precision << ", latency "
-                   << trial.metrics.optimized_latency * 1e3 << " ms";
+      if (trial.ok()) {
+        DCN_LOG_INFO << "trial " << i << " [" << point->to_string()
+                     << "]: AP " << trial.metrics.average_precision
+                     << ", latency " << trial.metrics.optimized_latency * 1e3
+                     << " ms" << (trial.status == TrialStatus::kRetried
+                                      ? " (after retry)"
+                                      : "");
+      } else {
+        DCN_LOG_WARN << "trial " << i << " [" << point->to_string()
+                     << "] FAILED after " << trial.attempts
+                     << " attempt(s): " << trial.failure_reason;
+      }
     }
     database.add(std::move(trial));
+    if (!config.checkpoint_path.empty() &&
+        static_cast<int>(database.size()) % config.checkpoint_every == 0) {
+      write_checkpoint(database, config.checkpoint_path);
+    }
+  }
+  if (!config.checkpoint_path.empty()) {
+    write_checkpoint(database, config.checkpoint_path);
   }
   return database;
 }

@@ -1,10 +1,31 @@
 #include "nas/trial.hpp"
 
+#include <sstream>
+
 #include "core/csv.hpp"
 #include "core/error.hpp"
 #include "core/table.hpp"
 
 namespace dcn::nas {
+
+const char* trial_status_name(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::kOk:
+      return "ok";
+    case TrialStatus::kRetried:
+      return "retried";
+    case TrialStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+TrialStatus trial_status_from_name(const std::string& name) {
+  if (name == "ok") return TrialStatus::kOk;
+  if (name == "retried") return TrialStatus::kRetried;
+  if (name == "failed") return TrialStatus::kFailed;
+  throw ConfigError("unknown trial status '" + name + "'");
+}
 
 void TrialDatabase::add(Trial trial) { trials_.push_back(std::move(trial)); }
 
@@ -13,9 +34,18 @@ const Trial& TrialDatabase::trial(std::size_t i) const {
   return trials_[i];
 }
 
+std::size_t TrialDatabase::num_failed() const {
+  std::size_t failed = 0;
+  for (const Trial& t : trials_) {
+    if (!t.ok()) ++failed;
+  }
+  return failed;
+}
+
 std::optional<Trial> TrialDatabase::best_by_accuracy() const {
   std::optional<Trial> best;
   for (const Trial& t : trials_) {
+    if (!t.ok()) continue;
     if (!best ||
         t.metrics.average_precision > best->metrics.average_precision) {
       best = t;
@@ -27,6 +57,7 @@ std::optional<Trial> TrialDatabase::best_by_accuracy() const {
 std::optional<Trial> TrialDatabase::best_by_throughput() const {
   std::optional<Trial> best;
   for (const Trial& t : trials_) {
+    if (!t.ok()) continue;
     if (!best || t.metrics.throughput > best->metrics.throughput) {
       best = t;
     }
@@ -34,10 +65,64 @@ std::optional<Trial> TrialDatabase::best_by_throughput() const {
   return best;
 }
 
+namespace {
+
+// Failure reasons can contain anything an exception message holds; flatten
+// the CSV-significant characters so rows stay parseable with a plain
+// comma split (and serialization stays idempotent for checkpoint resume).
+std::string csv_sanitize(const std::string& text) {
+  std::string out = text;
+  for (char& ch : out) {
+    if (ch == ',' || ch == '"' || ch == '\n' || ch == '\r') ch = ';';
+  }
+  return out;
+}
+
+std::vector<std::string> split_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+double parse_csv_double(const std::string& field, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(field, &consumed);
+    if (consumed != field.size()) throw std::invalid_argument(field);
+    return value;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("bad ") + what + " value '" + field +
+                      "' in trial CSV");
+  }
+}
+
+std::int64_t parse_csv_int(const std::string& field, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(field, &consumed);
+    if (consumed != field.size()) throw std::invalid_argument(field);
+    return value;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("bad ") + what + " value '" + field +
+                      "' in trial CSV");
+  }
+}
+
+const char* const kCsvHeader =
+    "trial,conv1_kernel,spp_first_level,fc_sizes,average_precision,"
+    "optimized_latency_ms,sequential_latency_ms,throughput_img_s,parameters,"
+    "status,attempts,failure";
+
+}  // namespace
+
 std::string TrialDatabase::to_csv() const {
   CsvWriter csv({"trial", "conv1_kernel", "spp_first_level", "fc_sizes",
                  "average_precision", "optimized_latency_ms",
-                 "sequential_latency_ms", "throughput_img_s", "parameters"});
+                 "sequential_latency_ms", "throughput_img_s", "parameters",
+                 "status", "attempts", "failure"});
   for (const Trial& t : trials_) {
     std::string fc;
     for (std::size_t i = 0; i < t.point.fc_sizes.size(); ++i) {
@@ -51,9 +136,53 @@ std::string TrialDatabase::to_csv() const {
                  format_double(t.metrics.optimized_latency * 1e3, 4),
                  format_double(t.metrics.sequential_latency * 1e3, 4),
                  format_double(t.metrics.throughput, 1),
-                 std::to_string(t.metrics.parameter_count)});
+                 std::to_string(t.metrics.parameter_count),
+                 trial_status_name(t.status), std::to_string(t.attempts),
+                 csv_sanitize(t.failure_reason)});
   }
   return csv.to_string();
+}
+
+TrialDatabase TrialDatabase::from_csv(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kCsvHeader) {
+    throw ConfigError("trial CSV header mismatch: got '" + line + "'");
+  }
+  TrialDatabase database;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_row(line);
+    if (fields.size() != 12) {
+      throw ConfigError("trial CSV row has " + std::to_string(fields.size()) +
+                        " fields, expected 12: '" + line + "'");
+    }
+    Trial t;
+    t.index = static_cast<int>(parse_csv_int(fields[0], "trial index"));
+    t.point.conv1_kernel = parse_csv_int(fields[1], "conv1_kernel");
+    t.point.spp_first_level = parse_csv_int(fields[2], "spp_first_level");
+    t.point.fc_sizes.clear();  // SearchPoint defaults to {1024}
+    std::istringstream fc_stream(fields[3]);
+    std::string fc_field;
+    while (std::getline(fc_stream, fc_field, '|')) {
+      if (!fc_field.empty()) {
+        t.point.fc_sizes.push_back(parse_csv_int(fc_field, "fc width"));
+      }
+    }
+    t.metrics.average_precision =
+        parse_csv_double(fields[4], "average_precision");
+    t.metrics.optimized_latency =
+        parse_csv_double(fields[5], "optimized_latency_ms") / 1e3;
+    t.metrics.sequential_latency =
+        parse_csv_double(fields[6], "sequential_latency_ms") / 1e3;
+    t.metrics.throughput = parse_csv_double(fields[7], "throughput");
+    t.metrics.parameter_count = parse_csv_int(fields[8], "parameters");
+    t.status = trial_status_from_name(fields[9]);
+    t.attempts = static_cast<int>(parse_csv_int(fields[10], "attempts"));
+    t.failure_reason = fields[11];
+    database.add(std::move(t));
+  }
+  return database;
 }
 
 }  // namespace dcn::nas

@@ -23,13 +23,30 @@ struct TrialMetrics {
   std::int64_t parameter_count = 0;
 };
 
+/// Outcome of one trial in a fault-tolerant campaign (NNI's trial states:
+/// SUCCEEDED / FAILED; kRetried marks a success that needed retries).
+enum class TrialStatus { kOk = 0, kRetried, kFailed };
+
+const char* trial_status_name(TrialStatus status);
+/// Inverse of trial_status_name; throws ConfigError for unknown names.
+TrialStatus trial_status_from_name(const std::string& name);
+
 struct Trial {
   int index = 0;
   SearchPoint point;
   TrialMetrics metrics;
+  TrialStatus status = TrialStatus::kOk;
+  /// Attempts consumed (1 = first try succeeded).
+  int attempts = 1;
+  /// Why the trial failed (empty unless status == kFailed).
+  std::string failure_reason;
+
+  bool ok() const { return status != TrialStatus::kFailed; }
 };
 
-/// Append-only store with ranking and CSV export.
+/// Append-only store with ranking and CSV export. Failed trials keep their
+/// row (the campaign record stays complete) but are ignored by the
+/// best_by_* rankings.
 class TrialDatabase {
  public:
   void add(Trial trial);
@@ -37,15 +54,22 @@ class TrialDatabase {
   std::size_t size() const { return trials_.size(); }
   const Trial& trial(std::size_t i) const;
   const std::vector<Trial>& trials() const { return trials_; }
+  std::size_t num_failed() const;
 
-  /// Highest-AP trial (nullopt when empty).
+  /// Highest-AP successful trial (nullopt when none succeeded).
   std::optional<Trial> best_by_accuracy() const;
 
-  /// Highest-throughput trial (nullopt when empty).
+  /// Highest-throughput successful trial (nullopt when none succeeded).
   std::optional<Trial> best_by_throughput() const;
 
   /// CSV of all trials (one row each).
   std::string to_csv() const;
+
+  /// Parse a CSV produced by to_csv (the campaign checkpoint format).
+  /// Numeric fields round-trip at CSV precision; re-serializing the parsed
+  /// database reproduces the input byte-for-byte, which checkpoint/resume
+  /// relies on. Throws ConfigError on malformed input.
+  static TrialDatabase from_csv(const std::string& text);
 
  private:
   std::vector<Trial> trials_;

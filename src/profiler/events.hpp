@@ -21,6 +21,7 @@ enum class ApiKind {
   kLaunchKernel,       // cudaLaunchKernel
   kStreamCreate,       // cudaStreamCreate
   kDeviceSynchronize,  // cudaDeviceSynchronize
+  kDeviceReset,        // cudaDeviceReset (device-loss recovery)
 };
 
 const char* api_kind_name(ApiKind kind);
@@ -65,6 +66,14 @@ struct KernelSpan : Span {
 struct MemopSpan : Span {
   MemopKind kind = MemopKind::kH2D;
   std::int64_t bytes = 0;
+};
+
+/// An injected device fault or a recovery action (retry, backoff, reset) on
+/// the virtual timeline. `name` is the event class (e.g. "launch_failure",
+/// "retry"); `detail` carries the human-readable context. Most faults are
+/// instants (duration 0); slowdowns/hangs/backoffs carry their stall time.
+struct FaultSpan : Span {
+  std::string detail;
 };
 
 }  // namespace dcn::profiler

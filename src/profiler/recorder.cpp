@@ -22,6 +22,8 @@ const char* api_kind_name(ApiKind kind) {
       return "cudaStreamCreate";
     case ApiKind::kDeviceSynchronize:
       return "cudaDeviceSynchronize";
+    case ApiKind::kDeviceReset:
+      return "cudaDeviceReset";
   }
   return "unknown";
 }
@@ -93,10 +95,23 @@ void Recorder::record_memop(MemopKind kind, std::string name, double start,
   memop_spans_.push_back(std::move(span));
 }
 
+void Recorder::record_fault(std::string name, double start, double duration,
+                            std::string detail) {
+  if (!enabled_) return;
+  DCN_DCHECK(duration >= 0.0) << "negative fault duration";
+  FaultSpan span;
+  span.name = std::move(name);
+  span.start = start;
+  span.duration = duration;
+  span.detail = std::move(detail);
+  fault_spans_.push_back(std::move(span));
+}
+
 void Recorder::clear() {
   api_spans_.clear();
   kernel_spans_.clear();
   memop_spans_.clear();
+  fault_spans_.clear();
 }
 
 }  // namespace dcn::profiler

@@ -18,6 +18,8 @@ class Recorder {
                      double duration, std::int64_t batch);
   void record_memop(MemopKind kind, std::string name, double start,
                     double duration, std::int64_t bytes);
+  void record_fault(std::string name, double start, double duration,
+                    std::string detail);
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
@@ -29,12 +31,14 @@ class Recorder {
     return kernel_spans_;
   }
   const std::vector<MemopSpan>& memop_spans() const { return memop_spans_; }
+  const std::vector<FaultSpan>& fault_spans() const { return fault_spans_; }
 
  private:
   bool enabled_ = true;
   std::vector<ApiSpan> api_spans_;
   std::vector<KernelSpan> kernel_spans_;
   std::vector<MemopSpan> memop_spans_;
+  std::vector<FaultSpan> fault_spans_;
 };
 
 }  // namespace dcn::profiler

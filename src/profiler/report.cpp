@@ -129,6 +129,20 @@ std::string render_report(const Recorder& recorder) {
                          format_double(s.mean_seconds * 1e9, 0)});
   }
   os << memop_table.to_string();
+
+  // Fault-injection view: real nsys reports have no such section, but a
+  // faulted run must show its injected faults and recovery actions next to
+  // the API statistics they perturbed.
+  if (!recorder.fault_spans().empty()) {
+    os << "\nFault & Recovery Events:\n";
+    TextTable fault_table({"Time (us)", "Duration (us)", "Event", "Detail"});
+    for (const FaultSpan& span : recorder.fault_spans()) {
+      fault_table.add_row({format_double(span.start * 1e6, 1),
+                           format_double(span.duration * 1e6, 1), span.name,
+                           span.detail});
+    }
+    os << fault_table.to_string();
+  }
   return os.str();
 }
 

@@ -65,6 +65,10 @@ std::string to_chrome_trace(const Recorder& recorder) {
     emit_event(os, first, span.name, "memop", 2, span.start, span.duration,
                args.str());
   }
+  for (const FaultSpan& span : recorder.fault_spans()) {
+    emit_event(os, first, span.name, "fault", 3, span.start, span.duration,
+               "{\"detail\": \"" + json_escape(span.detail) + "\"}");
+  }
   os << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
   return os.str();
 }

@@ -13,7 +13,7 @@ namespace dcn::profiler {
 
 /// Serialize every recorded span as Chrome trace events ("X" complete
 /// events; microsecond timestamps). Rows (tid): 0 = CUDA API, 1 = kernels,
-/// 2 = memory operations.
+/// 2 = memory operations, 3 = injected faults / recovery actions.
 std::string to_chrome_trace(const Recorder& recorder);
 
 /// Write the trace JSON to `path` (throws dcn::Error on I/O failure).

@@ -1,6 +1,7 @@
 #include "simgpu/device.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/error.hpp"
 
@@ -16,6 +17,26 @@ void Device::record_api(profiler::ApiKind kind, const std::string& name,
   }
 }
 
+std::optional<InjectedFault> Device::check_fault(FaultKind kind,
+                                                double duration) {
+  if (!faults_) return std::nullopt;
+  auto fault = faults_->check(kind, host_time_);
+  if (fault && recorder_ != nullptr) {
+    recorder_->record_fault(fault_kind_name(kind), host_time_, duration,
+                            fault->detail);
+  }
+  return fault;
+}
+
+void Device::set_fault_plan(const FaultPlan& plan) {
+  faults_ = plan.empty() ? nullptr : std::make_unique<FaultInjector>(plan);
+}
+
+void Device::set_sync_timeout(double seconds) {
+  DCN_CHECK(seconds >= 0.0) << "sync timeout " << seconds;
+  sync_timeout_ = seconds;
+}
+
 void Device::load_library(int num_kernels) {
   if (library_loaded_) return;
   DCN_CHECK(num_kernels > 0) << "library with no kernels";
@@ -27,6 +48,17 @@ void Device::load_library(int num_kernels) {
 }
 
 BufferId Device::malloc(std::int64_t bytes) {
+  if (check_fault(FaultKind::kAllocFailure, 0.0)) {
+    record_api(profiler::ApiKind::kMemAlloc, "malloc", host_time_,
+               spec_.malloc_cpu);
+    host_time_ += spec_.malloc_cpu;
+    std::ostringstream os;
+    os << "injected allocation failure (cudaErrorMemoryAllocation): "
+       << bytes << " bytes requested, " << memory_.live_bytes() << " live of "
+       << spec_.dram_bytes << " capacity";
+    throw OutOfMemoryError(os.str(), bytes, memory_.live_bytes(),
+                           spec_.dram_bytes, /*retryable=*/true);
+  }
   const BufferId id = memory_.allocate(bytes, spec_.dram_bytes);
   record_api(profiler::ApiKind::kMemAlloc, "malloc", host_time_,
              spec_.malloc_cpu);
@@ -47,35 +79,49 @@ void Device::create_stream() {
   host_time_ += spec_.stream_create_cpu;
 }
 
-void Device::memcpy_h2d(std::int64_t bytes) {
+void Device::do_memcpy(profiler::MemopKind kind, const std::string& name,
+                       std::int64_t bytes) {
   DCN_CHECK(bytes >= 0) << "negative copy";
-  const double transfer =
+  double transfer =
       spec_.memcpy_latency + static_cast<double>(bytes) / spec_.pcie_bandwidth;
+  // Degraded PCIe link: the copy completes but at a fraction of the
+  // bandwidth; no error surfaces (only the timeline shows it).
+  if (faults_) {
+    if (auto slow = faults_->check(FaultKind::kMemcpySlowdown, host_time_)) {
+      const double slowed = transfer * slow->slowdown_factor;
+      if (recorder_ != nullptr) {
+        recorder_->record_fault(fault_kind_name(FaultKind::kMemcpySlowdown),
+                                host_time_, slowed - transfer, slow->detail);
+      }
+      transfer = slowed;
+    }
+  }
   // Blocking copy: waits for the queue, then transfers.
   const double start = std::max(host_time_, device_ready_);
-  record_api(profiler::ApiKind::kMemcpyH2D, "input", host_time_,
-             (start - host_time_) + transfer);
+  const bool h2d = kind == profiler::MemopKind::kH2D;
+  record_api(h2d ? profiler::ApiKind::kMemcpyH2D : profiler::ApiKind::kMemcpyD2H,
+             name, host_time_, (start - host_time_) + transfer);
   if (recorder_ != nullptr) {
-    recorder_->record_memop(profiler::MemopKind::kH2D, "input", start,
-                            transfer, bytes);
+    recorder_->record_memop(kind, name, start, transfer, bytes);
   }
   host_time_ = start + transfer;
   device_ready_ = std::max(device_ready_, host_time_);
+  // ECC / PCIe replay error: the time was spent, then the copy is reported
+  // failed. Transient — a retried copy usually succeeds.
+  if (check_fault(FaultKind::kMemcpyCorruption, 0.0)) {
+    std::ostringstream os;
+    os << "injected " << (h2d ? "H2D" : "D2H")
+       << " memcpy corruption (ECC/PCIe replay error), " << bytes << " bytes";
+    throw DeviceFault(os.str(), /*retryable=*/true);
+  }
+}
+
+void Device::memcpy_h2d(std::int64_t bytes) {
+  do_memcpy(profiler::MemopKind::kH2D, "input", bytes);
 }
 
 void Device::memcpy_d2h(std::int64_t bytes) {
-  DCN_CHECK(bytes >= 0) << "negative copy";
-  const double transfer =
-      spec_.memcpy_latency + static_cast<double>(bytes) / spec_.pcie_bandwidth;
-  const double start = std::max(host_time_, device_ready_);
-  record_api(profiler::ApiKind::kMemcpyD2H, "output", host_time_,
-             (start - host_time_) + transfer);
-  if (recorder_ != nullptr) {
-    recorder_->record_memop(profiler::MemopKind::kD2H, "output", start,
-                            transfer, bytes);
-  }
-  host_time_ = start + transfer;
-  device_ready_ = std::max(device_ready_, host_time_);
+  do_memcpy(profiler::MemopKind::kD2H, "output", bytes);
 }
 
 void Device::run_stage(const std::vector<std::vector<KernelDesc>>& groups,
@@ -93,6 +139,12 @@ void Device::run_stage(const std::vector<std::vector<KernelDesc>>& groups,
       record_api(profiler::ApiKind::kLaunchKernel, kernel.name, host_time_,
                  spec_.kernel_launch_cpu);
       host_time_ += spec_.kernel_launch_cpu;
+      if (check_fault(FaultKind::kLaunchFailure, 0.0)) {
+        throw DeviceFault("injected kernel launch failure "
+                          "(cudaErrorLaunchFailure): " +
+                              kernel.name,
+                          /*retryable=*/true);
+      }
     }
   }
 
@@ -128,7 +180,26 @@ void Device::run_stage(const std::vector<std::vector<KernelDesc>>& groups,
 }
 
 void Device::synchronize() {
+  // A hung device: the queue stalls for hang_seconds before draining.
+  if (faults_) {
+    const double hang = faults_->plan().hang_seconds;
+    if (check_fault(FaultKind::kSyncHang, hang)) {
+      device_ready_ = std::max(device_ready_, host_time_) + hang;
+    }
+  }
   const double wait = std::max(0.0, device_ready_ - host_time_);
+  if (sync_timeout_ > 0.0 && wait > sync_timeout_) {
+    // Watchdog: give up after the deadline; the queue is still wedged, so
+    // the caller must hard_reset() before reusing the device.
+    const double duration = spec_.sync_api_floor + sync_timeout_;
+    record_api(profiler::ApiKind::kDeviceSynchronize, "sync", host_time_,
+               duration);
+    host_time_ += duration;
+    std::ostringstream os;
+    os << "device synchronize exceeded " << sync_timeout_
+       << "s watchdog (queue drains at " << device_ready_ << "s)";
+    throw TimeoutError(os.str(), sync_timeout_);
+  }
   const double duration = spec_.sync_api_floor + wait;
   record_api(profiler::ApiKind::kDeviceSynchronize, "sync", host_time_,
              duration);
@@ -139,6 +210,27 @@ void Device::synchronize() {
 void Device::reset_clocks() {
   host_time_ = 0.0;
   device_ready_ = 0.0;
+}
+
+void Device::advance_host(double seconds) {
+  DCN_CHECK(seconds >= 0.0) << "negative sleep";
+  host_time_ += seconds;
+}
+
+void Device::hard_reset() {
+  record_api(profiler::ApiKind::kDeviceReset, "reset", host_time_,
+             spec_.device_reset_cpu);
+  host_time_ += spec_.device_reset_cpu;
+  device_ready_ = host_time_;  // queued work is dropped
+  memory_.clear();
+  library_loaded_ = false;
+}
+
+void Device::record_recovery(const std::string& name, double duration,
+                             const std::string& detail) {
+  if (recorder_ != nullptr) {
+    recorder_->record_fault(name, host_time_, duration, detail);
+  }
 }
 
 }  // namespace dcn::simgpu

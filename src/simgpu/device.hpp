@@ -12,11 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "profiler/recorder.hpp"
 #include "simgpu/cost_model.hpp"
+#include "simgpu/faults.hpp"
 #include "simgpu/kernels.hpp"
 #include "simgpu/memory.hpp"
 #include "simgpu/spec.hpp"
@@ -55,6 +58,8 @@ class Device {
                  std::int64_t batch);
 
   /// Host waits for the device queue to drain (cudaDeviceSynchronize).
+  /// With a sync timeout set and a wait (e.g. an injected hang) exceeding
+  /// it, throws dcn::TimeoutError after charging the timeout.
   void synchronize();
 
   /// Current host time (seconds on the virtual timeline).
@@ -65,13 +70,46 @@ class Device {
   /// Reset both clocks to zero (keeps memory and library state).
   void reset_clocks();
 
+  /// Host-side sleep on the virtual clock (retry backoff); the device
+  /// queue keeps draining underneath.
+  void advance_host(double seconds);
+
+  // --- Fault injection & recovery -----------------------------------------
+
+  /// Attach a fault plan (replaces any existing injector). An empty plan
+  /// detaches. The injector is consulted on every launch/memcpy/malloc/sync.
+  void set_fault_plan(const FaultPlan& plan);
+  /// The active injector, or nullptr when no plan is attached.
+  const FaultInjector* fault_injector() const { return faults_.get(); }
+
+  /// Watchdog deadline for synchronize() waits (0 disables).
+  void set_sync_timeout(double seconds);
+  double sync_timeout() const { return sync_timeout_; }
+
+  /// Device-loss recovery (cudaDeviceReset): drops queued work, frees all
+  /// simulated memory, and unloads the library; charges
+  /// spec().device_reset_cpu on the host clock. Callers must re-run their
+  /// initialization (library load, weight upload) afterwards.
+  void hard_reset();
+
+  /// Record a recovery action (retry, backoff, re-init) as a trace event.
+  void record_recovery(const std::string& name, double duration,
+                       const std::string& detail);
+
  private:
   void record_api(profiler::ApiKind kind, const std::string& name,
                   double start, double duration);
+  /// Consult the injector for one eligible operation; fired faults are
+  /// recorded into the profiler before being returned.
+  std::optional<InjectedFault> check_fault(FaultKind kind, double duration);
+  void do_memcpy(profiler::MemopKind kind, const std::string& name,
+                 std::int64_t bytes);
 
   DeviceSpec spec_;
   profiler::Recorder* recorder_;
   MemoryTracker memory_;
+  std::unique_ptr<FaultInjector> faults_;
+  double sync_timeout_ = 0.0;
   double host_time_ = 0.0;
   double device_ready_ = 0.0;
   bool library_loaded_ = false;

@@ -1,6 +1,7 @@
 #include "simgpu/memory.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/error.hpp"
 
@@ -9,9 +10,14 @@ namespace dcn::simgpu {
 BufferId MemoryTracker::allocate(std::int64_t bytes,
                                  std::int64_t capacity_bytes) {
   DCN_CHECK(bytes >= 0) << "negative allocation";
-  DCN_CHECK(live_bytes_ + bytes <= capacity_bytes)
-      << "simulated device out of memory: " << live_bytes_ << " + " << bytes
-      << " > " << capacity_bytes;
+  if (live_bytes_ + bytes > capacity_bytes) {
+    std::ostringstream os;
+    os << "simulated device out of memory: requested " << bytes
+       << " bytes with " << live_bytes_ << " live of " << capacity_bytes
+       << " capacity";
+    throw OutOfMemoryError(os.str(), bytes, live_bytes_, capacity_bytes,
+                           /*retryable=*/false);
+  }
   const BufferId id = next_id_++;
   buffers_[id] = bytes;
   live_bytes_ += bytes;
@@ -21,9 +27,20 @@ BufferId MemoryTracker::allocate(std::int64_t bytes,
 
 void MemoryTracker::free(BufferId id) {
   auto it = buffers_.find(id);
-  DCN_CHECK(it != buffers_.end()) << "free of unknown buffer " << id;
+  if (it == buffers_.end()) {
+    std::ostringstream os;
+    os << "free of unknown or already-freed buffer " << id << " ("
+       << buffers_.size() << " live buffers, " << live_bytes_
+       << " live bytes)";
+    throw DeviceFault(os.str(), /*retryable=*/false);
+  }
   live_bytes_ -= it->second;
   buffers_.erase(it);
+}
+
+void MemoryTracker::clear() {
+  buffers_.clear();
+  live_bytes_ = 0;
 }
 
 }  // namespace dcn::simgpu

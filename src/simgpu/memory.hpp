@@ -11,12 +11,17 @@ using BufferId = std::int64_t;
 /// Tracks simulated device allocations and peak usage.
 class MemoryTracker {
  public:
-  /// Allocate `bytes`; throws dcn::Error when the device would be
+  /// Allocate `bytes`; throws dcn::OutOfMemoryError (with the requested
+  /// size, live bytes, and capacity) when the device would be
   /// oversubscribed beyond `capacity_bytes`.
   BufferId allocate(std::int64_t bytes, std::int64_t capacity_bytes);
 
-  /// Free a live buffer (double free throws).
+  /// Free a live buffer. Freeing an unknown or already-freed id throws
+  /// dcn::DeviceFault (non-retryable, with live-buffer context).
   void free(BufferId id);
+
+  /// Drop every live buffer (device-loss recovery; peak is preserved).
+  void clear();
 
   std::int64_t live_bytes() const { return live_bytes_; }
   std::int64_t peak_bytes() const { return peak_bytes_; }

@@ -38,6 +38,8 @@ struct DeviceSpec {
   double sync_api_floor = 1.5e-6;      // cudaDeviceSynchronize base cost
   double malloc_cpu = 4.0e-6;
   double stream_create_cpu = 6.0e-6;
+  /// cudaDeviceReset after device loss: teardown + context re-creation.
+  double device_reset_cpu = 2.0e-3;
   /// cuLibraryLoadData cost per loaded kernel image. CUDA module loading
   /// (cuDNN/cuBLAS fatbins) runs tens of milliseconds in real nsys traces,
   /// which is why it dominates the paper's batch-1 API profile (Fig. 8).
