@@ -13,6 +13,7 @@
 
 #include "core/cli.hpp"
 #include "core/logging.hpp"
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/table.hpp"
 #include "detect/trainer.hpp"
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
                    "checkpoint CSV path (enables periodic checkpointing)");
   flags.add_bool("resume", false,
                  "resume the campaign from --checkpoint if it exists");
+  flags.add_int("jobs", 1,
+                "worker threads evaluating trials concurrently (random/grid "
+                "stay byte-identical to --jobs 1)");
   if (!flags.parse(argc, argv)) return 0;
 
   // Shared dataset across trials (as the paper trains every candidate on
@@ -91,6 +95,8 @@ int main(int argc, char** argv) {
   runner_config.trial_retries =
       static_cast<int>(flags.get_int("trial-retries"));
   runner_config.checkpoint_path = flags.get_string("checkpoint");
+  runner_config.jobs = static_cast<int>(flags.get_int("jobs"));
+  if (runner_config.jobs > 1) set_num_threads(1);
   nas::TrialDatabase resume_from;
   if (flags.get_bool("resume") && !runner_config.checkpoint_path.empty()) {
     resume_from = nas::load_checkpoint(runner_config.checkpoint_path);

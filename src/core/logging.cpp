@@ -1,12 +1,14 @@
 #include "core/logging.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 
 namespace dcn {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+// Atomic: worker threads log while the main thread may adjust the level.
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -30,11 +32,13 @@ double elapsed_seconds() {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::fprintf(stderr, "[%8.2fs %s] %s\n", elapsed_seconds(), tag(level),
                message.c_str());
 }

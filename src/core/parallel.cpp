@@ -1,6 +1,7 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -8,19 +9,24 @@
 
 namespace dcn {
 namespace {
-int g_num_threads = 0;  // 0 = backend default
+// Atomic: read by hardware_threads() inside parallel regions and from pool
+// workers while the main thread may call set_num_threads.
+std::atomic<int> g_num_threads{0};  // 0 = backend default
 }
 
 int hardware_threads() {
 #ifdef _OPENMP
-  if (g_num_threads > 0) return g_num_threads;
+  const int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n > 0) return n;
   return omp_get_max_threads();
 #else
   return 1;
 #endif
 }
 
-void set_num_threads(int n) { g_num_threads = n < 1 ? 0 : n; }
+void set_num_threads(int n) {
+  g_num_threads.store(n < 1 ? 0 : n, std::memory_order_relaxed);
+}
 
 void parallel_for(std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& fn,
@@ -63,6 +69,48 @@ void parallel_for_chunked(
   (void)threads;
 #endif
   fn(begin, end);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions are captured into the task's future
+  }
 }
 
 }  // namespace dcn

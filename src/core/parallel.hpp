@@ -1,22 +1,37 @@
-// Shared-memory parallel loop helpers.
+// Shared-memory parallel loop helpers and a task thread pool.
 //
 // All data-parallel loops in the library funnel through parallel_for so the
 // threading backend (OpenMP when available, serial otherwise) is chosen in
 // one place. Grain-size control avoids spawning parallel regions for tiny
 // trip counts, which matters for the many small tensors in SPP branches.
+//
+// ThreadPool is the coarse-grained counterpart: long-lived std::thread
+// workers executing independent tasks (one task = one NAS trial). Pool
+// tasks may themselves call parallel_for; keep the product of pool size and
+// set_num_threads at or below the machine's core count to avoid
+// oversubscription.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
 
 namespace dcn {
 
 /// Number of worker threads the backend will use (1 when OpenMP is absent).
+/// Safe to call from any thread, including inside pool tasks.
 int hardware_threads();
 
 /// Set the number of threads used by subsequent parallel_for calls.
-/// Values < 1 reset to the hardware default.
+/// Values < 1 reset to the hardware default. Safe to call concurrently with
+/// hardware_threads() (the setting is a single atomic), though in-flight
+/// parallel regions keep the count they started with.
 void set_num_threads(int n);
 
 /// Run fn(i) for i in [begin, end). Executes in parallel when the trip count
@@ -32,5 +47,34 @@ void parallel_for_chunked(
     std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& fn,
     std::int64_t grain = 1024);
+
+/// Fixed-size pool of std::thread workers draining a FIFO task queue.
+/// Tasks run in submission order (though they complete in any order); an
+/// exception escaping a task is captured and rethrown from the
+/// corresponding future's get().
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int threads);
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the returned future resolves when it has run.
+  std::future<void> submit(std::function<void()> task);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
 
 }  // namespace dcn

@@ -55,9 +55,32 @@ std::vector<PrPoint> precision_recall_curve(
 double average_precision(const std::vector<ScoredDetection>& detections,
                          float iou_threshold) {
   const auto curve = precision_recall_curve(detections, iou_threshold);
+
+  // Detections sharing one confidence cannot be thresholded apart: only the
+  // last cumulative point of each equal-confidence run is an operating
+  // point. Keeping the interior points would make AP depend on the sort
+  // order of tied detections.
+  std::vector<PrPoint> points;
+  points.reserve(curve.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (i + 1 < curve.size() &&
+        curve[i + 1].threshold == curve[i].threshold) {
+      continue;
+    }
+    points.push_back(curve[i]);
+  }
+
+  // VOC-style monotone precision envelope: each point's precision becomes
+  // the maximum at any recall >= its own, removing the sawtooth dips that
+  // under-count the raw left-Riemann sum.
+  for (std::size_t i = points.size(); i-- > 1;) {
+    points[i - 1].precision =
+        std::max(points[i - 1].precision, points[i].precision);
+  }
+
   double ap = 0.0;
   double prev_recall = 0.0;
-  for (const PrPoint& p : curve) {
+  for (const PrPoint& p : points) {
     ap += (p.recall - prev_recall) * p.precision;
     prev_recall = p.recall;
   }

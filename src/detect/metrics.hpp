@@ -34,7 +34,10 @@ std::vector<PrPoint> precision_recall_curve(
     std::vector<ScoredDetection> detections, float iou_threshold = 0.5f);
 
 /// Equation 1: AP = sum_i (recall_i - recall_{i-1}) * precision_i over the
-/// descending-confidence sweep.
+/// descending-confidence sweep, with the standard VOC corrections: tied
+/// confidences collapse to a single operating point (AP is invariant to the
+/// sort order of equal-score detections) and precision is replaced by its
+/// monotone envelope max_{r' >= r} p(r') before integrating.
 double average_precision(const std::vector<ScoredDetection>& detections,
                          float iou_threshold = 0.5f);
 

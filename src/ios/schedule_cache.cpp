@@ -1,0 +1,197 @@
+#include "ios/schedule_cache.hpp"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "profiler/counters.hpp"
+#include "simgpu/kernels.hpp"
+
+namespace dcn::ios {
+namespace {
+
+void append_double(std::string& out, double v) {
+  // %.17g round-trips doubles exactly: two specs differing in any cost
+  // parameter never collide.
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out += buffer;
+  out += ',';
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+  out += ',';
+}
+
+// Every DeviceSpec field the stage cost model can read. The name is
+// deliberately excluded: two identically parameterized devices are the
+// same DP instance.
+void append_spec(std::string& out, const simgpu::DeviceSpec& spec) {
+  out += "spec:";
+  append_int(out, spec.sm_count);
+  append_double(out, spec.peak_flops);
+  append_double(out, spec.compute_efficiency);
+  append_int(out, spec.blocks_per_sm);
+  append_int(out, spec.threads_per_block);
+  append_double(out, spec.dram_bandwidth);
+  append_double(out, spec.pcie_bandwidth);
+  append_int(out, spec.dram_bytes);
+  append_double(out, spec.kernel_launch_gpu);
+  append_double(out, spec.kernel_launch_cpu);
+  append_double(out, spec.memcpy_latency);
+  append_double(out, spec.sync_api_floor);
+  append_double(out, spec.malloc_cpu);
+  append_double(out, spec.stream_create_cpu);
+  append_double(out, spec.device_reset_cpu);
+  append_double(out, spec.library_load_per_kernel);
+  append_double(out, spec.min_kernel_time);
+  append_double(out, spec.inter_stage_gap);
+}
+
+// The cost-relevant content of one kernel: category + work profile. Names
+// are excluded so "conv1" in one graph matches "conv1" in another — and so
+// ops whose names differ but whose work is identical share solutions.
+void append_kernel(std::string& out, const simgpu::KernelDesc& kernel) {
+  out += 'k';
+  append_int(out, static_cast<std::int64_t>(kernel.category));
+  append_double(out, kernel.flops_per_sample);
+  append_double(out, kernel.activation_bytes_per_sample);
+  append_double(out, kernel.weight_bytes);
+  append_double(out, kernel.threads_per_sample);
+}
+
+}  // namespace
+
+std::string block_cache_key(const graph::Graph& graph,
+                            const std::vector<graph::OpId>& ops,
+                            const simgpu::DeviceSpec& spec,
+                            const IosOptions& options) {
+  std::unordered_map<graph::OpId, int> local;
+  local.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    local[ops[i]] = static_cast<int>(i);
+  }
+  std::string key;
+  key.reserve(64 + 96 * ops.size());
+  key += "block:";
+  append_int(key, static_cast<std::int64_t>(ops.size()));
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    append_kernel(key, simgpu::make_kernel_desc(graph, ops[i]));
+    // Block-local dependency structure (edges from outside the block do
+    // not constrain the DP and are omitted).
+    key += 'p';
+    for (graph::OpId in : graph.node(ops[i]).inputs) {
+      const auto it = local.find(in);
+      if (it != local.end()) append_int(key, it->second);
+    }
+  }
+  key += "opt:";
+  append_int(key, options.max_stage_ops);
+  append_int(key, options.batch);
+  append_spec(key, spec);
+  return key;
+}
+
+std::string cost_cache_key(const graph::Graph& graph,
+                           const simgpu::DeviceSpec& spec,
+                           const Schedule& schedule, std::int64_t batch) {
+  std::string key;
+  key.reserve(64 + 96 * schedule.num_kernels());
+  key += "cost:";
+  append_int(key, batch);
+  for (const Stage& stage : schedule.stages) {
+    key += 's';
+    for (const Group& group : stage.groups) {
+      key += 'g';
+      for (graph::OpId id : group.ops) {
+        append_kernel(key, simgpu::make_kernel_desc(graph, id));
+      }
+    }
+  }
+  append_spec(key, spec);
+  return key;
+}
+
+ScheduleCache& ScheduleCache::global() {
+  static ScheduleCache cache;
+  return cache;
+}
+
+std::optional<BlockSolution> ScheduleCache::find_block(
+    const std::string& key) {
+  std::optional<BlockSolution> found;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_) return std::nullopt;
+    const auto it = blocks_.find(key);
+    if (it != blocks_.end()) {
+      ++stats_.block_hits;
+      found = it->second;
+    } else {
+      ++stats_.block_misses;
+    }
+  }
+  profiler::counter_add(found ? "schedule_cache.hit" : "schedule_cache.miss");
+  return found;
+}
+
+void ScheduleCache::insert_block(const std::string& key,
+                                 BlockSolution solution) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  // First writer wins; racing workers computed the same solution anyway.
+  blocks_.emplace(key, std::move(solution));
+}
+
+std::optional<double> ScheduleCache::find_cost(const std::string& key) {
+  std::optional<double> found;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_) return std::nullopt;
+    const auto it = costs_.find(key);
+    if (it != costs_.end()) {
+      ++stats_.cost_hits;
+      found = it->second;
+    } else {
+      ++stats_.cost_misses;
+    }
+  }
+  profiler::counter_add(found ? "schedule_cost_cache.hit"
+                              : "schedule_cost_cache.miss");
+  return found;
+}
+
+void ScheduleCache::insert_cost(const std::string& key, double cost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  costs_.emplace(key, cost);
+}
+
+void ScheduleCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool ScheduleCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+ScheduleCacheStats ScheduleCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.size() + costs_.size();
+}
+
+void ScheduleCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blocks_.clear();
+  costs_.clear();
+  stats_ = ScheduleCacheStats{};
+}
+
+}  // namespace dcn::ios

@@ -1,0 +1,98 @@
+// Content-addressed cache of IOS dynamic-programming solutions.
+//
+// Random multi-trial NAS keeps re-building inference graphs whose branched
+// blocks are structurally identical: every §4.2 coordinate with the same
+// SPP first level has the same SPP block (the trunk's odd conv kernels are
+// same-padded, so spatial dims match, and FC widths live outside the
+// block). The DP would re-solve the same instance once per trial — the
+// redundancy GPUNet-style cached latency tables amortize. This cache keys
+// DP instances by *content*: block-local dependency structure, each kernel
+// descriptor's cost fields, the DeviceSpec's cost parameters, and the
+// IosOptions fields that shape the solution — never op ids or names, so a
+// solution computed for one graph rebases onto any structurally identical
+// block of another graph.
+//
+// Solutions are stored as stage partitions over block-local operator
+// indices plus the modeled cost; optimize_schedule rebases them onto the
+// requesting graph's op ids. schedule_cost memoizes through the same cache
+// under cost keys. Hits and misses are counted both here and in the global
+// profiler counters ("schedule_cache.hit" / ".miss", "schedule_cost_cache.*"),
+// so they surface in render_report and Chrome traces.
+//
+// Thread-safe: NAS workers evaluating trials concurrently share the global
+// cache; on a race both compute the same (deterministic) solution and the
+// first insert wins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <mutex>
+#include <vector>
+
+#include "ios/schedule.hpp"
+#include "ios/scheduler.hpp"
+#include "simgpu/spec.hpp"
+
+namespace dcn::ios {
+
+/// One cached DP solution: stage -> group -> block-local operator indices,
+/// plus the DP's modeled cost of the partition.
+struct BlockSolution {
+  std::vector<std::vector<std::vector<int>>> stages;
+  double cost = 0.0;
+};
+
+struct ScheduleCacheStats {
+  std::int64_t block_hits = 0;
+  std::int64_t block_misses = 0;
+  std::int64_t cost_hits = 0;
+  std::int64_t cost_misses = 0;
+};
+
+/// Thread-safe content-addressed memo shared by optimize_schedule and
+/// schedule_cost. Enabled by default; disabling turns find/insert into
+/// no-ops (nothing is counted), which tests use to compare cached against
+/// uncached solutions.
+class ScheduleCache {
+ public:
+  /// The process-wide instance every scheduler call consults.
+  static ScheduleCache& global();
+
+  std::optional<BlockSolution> find_block(const std::string& key);
+  void insert_block(const std::string& key, BlockSolution solution);
+
+  std::optional<double> find_cost(const std::string& key);
+  void insert_cost(const std::string& key, double cost);
+
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  ScheduleCacheStats stats() const;
+  /// Number of stored entries (block solutions + memoized costs).
+  std::size_t size() const;
+  /// Drop all entries and zero the stats.
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  bool enabled_ = true;
+  std::unordered_map<std::string, BlockSolution> blocks_;
+  std::unordered_map<std::string, double> costs_;
+  ScheduleCacheStats stats_;
+};
+
+/// Canonical key of one DP instance over `ops` (a block's device ops, in
+/// block order). Identical keys guarantee identical DP solutions.
+std::string block_cache_key(const graph::Graph& graph,
+                            const std::vector<graph::OpId>& ops,
+                            const simgpu::DeviceSpec& spec,
+                            const IosOptions& options);
+
+/// Canonical key of one schedule_cost evaluation.
+std::string cost_cache_key(const graph::Graph& graph,
+                           const simgpu::DeviceSpec& spec,
+                           const Schedule& schedule, std::int64_t batch);
+
+}  // namespace dcn::ios

@@ -20,9 +20,16 @@
 
 namespace dcn::ios {
 
+/// Hard ceiling on the bitmask DP's operator-set size. The mask is 32 bits
+/// wide; capping two below keeps every `Mask{1} << n` shift defined and
+/// leaves headroom for the full-set sentinel. Blocks above
+/// min(IosOptions::max_block_ops, kMaxDpOps) take the branch heuristic.
+inline constexpr int kMaxDpOps = 30;
+
 struct IosOptions {
   /// Blocks larger than this fall back to the one-group-per-branch
-  /// heuristic instead of the exponential DP.
+  /// heuristic instead of the exponential DP. Values above kMaxDpOps are
+  /// clamped to it: the bitmask DP cannot represent larger sets.
   int max_block_ops = 16;
   /// Pruning width: maximum operators in one stage (IOS's r).
   int max_stage_ops = 12;

@@ -1,11 +1,14 @@
 #include "nas/runner.hpp"
 
 #include <cstdio>
+#include <deque>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "core/error.hpp"
 #include "core/logging.hpp"
+#include "core/parallel.hpp"
 #include "core/retry.hpp"
 #include "graph/builder.hpp"
 #include "ios/scheduler.hpp"
@@ -60,6 +63,53 @@ void write_checkpoint(const TrialDatabase& database,
   DCN_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0)
       << "rename " << tmp << " -> " << path << " failed";
 }
+
+// One complete trial evaluation — materialization, profiling, scoring, and
+// the bounded retry loop. Everything here is a pure function of
+// (point, index, config): no shared mutable state, so the parallel runner
+// can execute it on any worker thread. Fault salts come from
+// (index, attempt) alone, keeping fault schedules independent of worker
+// scheduling.
+Trial evaluate_trial(const SearchPoint& point, int index,
+                     const Evaluator& evaluator, const RunnerConfig& config) {
+  const detect::SppNetConfig model = materialize(point);
+
+  Trial trial;
+  trial.index = index;
+  trial.point = point;
+  const int max_attempts = 1 + std::max(0, config.trial_retries);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    trial.attempts = attempt;
+    try {
+      trial.metrics = profile_architecture(model, config, index, attempt);
+      trial.metrics.average_precision = evaluator(model);
+      trial.status = attempt > 1 ? TrialStatus::kRetried : TrialStatus::kOk;
+      trial.failure_reason.clear();
+      break;
+    } catch (const std::exception& error) {
+      trial.status = TrialStatus::kFailed;
+      trial.failure_reason = error.what();
+      trial.metrics = TrialMetrics{};  // drop partial measurements
+      trial.metrics.parameter_count = model.parameter_count();
+      if (!is_retryable(error)) break;
+      if (config.verbose && attempt < max_attempts) {
+        DCN_LOG_WARN << "trial " << index << " attempt " << attempt
+                     << " failed (" << error.what() << "), retrying";
+      }
+    }
+  }
+  return trial;
+}
+
+// A proposed trial in flight: the worker fills `trial`; the main thread
+// waits on `future` before committing. unique_ptr keeps the address stable
+// while the deque shifts.
+struct PendingTrial {
+  SearchPoint point;
+  int index = 0;
+  Trial trial;
+  std::future<void> future;
+};
 
 }  // namespace
 
@@ -135,51 +185,67 @@ TrialDatabase run_multi_trial(ExplorationStrategy& strategy,
     database.add(done);
   }
 
-  for (int i = static_cast<int>(database.size()); i < config.max_trials;
-       ++i) {
-    const auto point = strategy.next();
-    if (!point) break;  // space exhausted
-    const detect::SppNetConfig model = materialize(*point);
+  // Windowed pipeline of depth `jobs`. Proposals are drawn in trial order;
+  // workers evaluate them concurrently; commits (report / log / add /
+  // checkpoint) drain the window strictly in trial order from this thread.
+  // At jobs == 1 the window holds one trial and the next proposal is drawn
+  // only after the previous commit — exactly the classic serial loop.
+  DCN_CHECK(config.jobs >= 1) << "jobs";
+  std::unique_ptr<ThreadPool> pool;
+  if (config.jobs > 1) pool = std::make_unique<ThreadPool>(config.jobs);
 
-    Trial trial;
-    trial.index = i;
-    trial.point = *point;
-    const int max_attempts = 1 + std::max(0, config.trial_retries);
-    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-      trial.attempts = attempt;
-      try {
-        trial.metrics = profile_architecture(model, config, i, attempt);
-        trial.metrics.average_precision = evaluator(model);
-        trial.status =
-            attempt > 1 ? TrialStatus::kRetried : TrialStatus::kOk;
-        trial.failure_reason.clear();
+  std::deque<std::unique_ptr<PendingTrial>> window;
+  int next_index = static_cast<int>(database.size());
+  bool exhausted = false;
+  const auto propose = [&] {
+    while (!exhausted && next_index < config.max_trials &&
+           static_cast<int>(window.size()) < config.jobs) {
+      const auto point = strategy.next();
+      if (!point) {
+        exhausted = true;  // space exhausted
         break;
-      } catch (const std::exception& error) {
-        trial.status = TrialStatus::kFailed;
-        trial.failure_reason = error.what();
-        trial.metrics = TrialMetrics{};  // drop partial measurements
-        trial.metrics.parameter_count = model.parameter_count();
-        if (!is_retryable(error)) break;
-        if (config.verbose && attempt < max_attempts) {
-          DCN_LOG_WARN << "trial " << i << " attempt " << attempt
-                       << " failed (" << error.what() << "), retrying";
-        }
       }
+      auto pending = std::make_unique<PendingTrial>();
+      pending->point = *point;
+      pending->index = next_index++;
+      if (pool != nullptr) {
+        PendingTrial* raw = pending.get();
+        pending->future = pool->submit([raw, &evaluator, &config] {
+          raw->trial =
+              evaluate_trial(raw->point, raw->index, evaluator, config);
+        });
+      }
+      window.push_back(std::move(pending));
     }
+  };
+
+  propose();
+  while (!window.empty()) {
+    const std::unique_ptr<PendingTrial> pending = std::move(window.front());
+    window.pop_front();
+    if (pool != nullptr) {
+      pending->future.get();
+    } else {
+      pending->trial =
+          evaluate_trial(pending->point, pending->index, evaluator, config);
+    }
+    Trial& trial = pending->trial;
     // Failed trials report fitness 0 so resumed and uninterrupted campaigns
     // feed the strategy identically.
-    strategy.report(*point, trial.metrics.average_precision);
+    strategy.report(pending->point, trial.metrics.average_precision);
     if (config.verbose) {
       if (trial.ok()) {
-        DCN_LOG_INFO << "trial " << i << " [" << point->to_string()
-                     << "]: AP " << trial.metrics.average_precision
-                     << ", latency " << trial.metrics.optimized_latency * 1e3
-                     << " ms" << (trial.status == TrialStatus::kRetried
-                                      ? " (after retry)"
-                                      : "");
+        DCN_LOG_INFO << "trial " << trial.index << " ["
+                     << pending->point.to_string() << "]: AP "
+                     << trial.metrics.average_precision << ", latency "
+                     << trial.metrics.optimized_latency * 1e3 << " ms"
+                     << (trial.status == TrialStatus::kRetried
+                             ? " (after retry)"
+                             : "");
       } else {
-        DCN_LOG_WARN << "trial " << i << " [" << point->to_string()
-                     << "] FAILED after " << trial.attempts
+        DCN_LOG_WARN << "trial " << trial.index << " ["
+                     << pending->point.to_string() << "] FAILED after "
+                     << trial.attempts
                      << " attempt(s): " << trial.failure_reason;
       }
     }
@@ -188,6 +254,7 @@ TrialDatabase run_multi_trial(ExplorationStrategy& strategy,
         static_cast<int>(database.size()) % config.checkpoint_every == 0) {
       write_checkpoint(database, config.checkpoint_path);
     }
+    propose();
   }
   if (!config.checkpoint_path.empty()) {
     write_checkpoint(database, config.checkpoint_path);

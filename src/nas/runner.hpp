@@ -40,6 +40,19 @@ struct RunnerConfig {
   simgpu::DeviceSpec device = simgpu::a5500_spec();
   bool verbose = true;
 
+  /// Worker threads evaluating trials concurrently (1 = the classic serial
+  /// loop, bit-for-bit). The parallel runner keeps a determinism contract:
+  /// points are *proposed* in trial order with pipeline depth `jobs`, and
+  /// every commit — strategy.report, logging, database.add, checkpoint —
+  /// happens strictly in trial order on the caller's thread. Fault-injector
+  /// seeds are salted by (trial index, attempt), never by worker identity,
+  /// so for strategies whose next() does not depend on report() (random,
+  /// grid) the final database CSV is byte-identical at any `jobs`.
+  /// Feedback-driven strategies (evolution) see up to `jobs - 1` proposals
+  /// outrun their reports and may explore a different — equally valid —
+  /// trajectory. The evaluator must be thread-safe when jobs > 1.
+  int jobs = 1;
+
   // --- Fault tolerance ----------------------------------------------------
 
   /// Fault plan applied to the profiling devices (empty = no injection).

@@ -1,0 +1,42 @@
+#include "profiler/counters.hpp"
+
+#include <mutex>
+
+namespace dcn::profiler {
+namespace {
+
+std::mutex& counter_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, std::int64_t>& counter_map() {
+  static std::map<std::string, std::int64_t> counters;
+  return counters;
+}
+
+}  // namespace
+
+void counter_add(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(counter_mutex());
+  counter_map()[name] += delta;
+}
+
+std::int64_t counter_value(const std::string& name) {
+  std::lock_guard<std::mutex> lock(counter_mutex());
+  const auto& counters = counter_map();
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::int64_t> counter_snapshot() {
+  std::lock_guard<std::mutex> lock(counter_mutex());
+  return counter_map();
+}
+
+void reset_counters() {
+  std::lock_guard<std::mutex> lock(counter_mutex());
+  counter_map().clear();
+}
+
+}  // namespace dcn::profiler

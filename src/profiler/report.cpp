@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/table.hpp"
+#include "profiler/counters.hpp"
 
 namespace dcn::profiler {
 
@@ -142,6 +143,19 @@ std::string render_report(const Recorder& recorder) {
                            span.detail});
     }
     os << fault_table.to_string();
+  }
+
+  // Process-wide counters (schedule-cache hits/misses and friends): not an
+  // nsys view, but campaign-level reports need the amortization numbers
+  // next to the timing they explain.
+  const auto counters = counter_snapshot();
+  if (!counters.empty()) {
+    os << "\nCounters:\n";
+    TextTable counter_table({"Counter", "Value"});
+    for (const auto& [name, value] : counters) {
+      counter_table.add_row({name, std::to_string(value)});
+    }
+    os << counter_table.to_string();
   }
   return os.str();
 }

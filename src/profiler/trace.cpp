@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "profiler/counters.hpp"
 
 namespace dcn::profiler {
 namespace {
@@ -68,6 +69,15 @@ std::string to_chrome_trace(const Recorder& recorder) {
   for (const FaultSpan& span : recorder.fault_spans()) {
     emit_event(os, first, span.name, "fault", 3, span.start, span.duration,
                "{\"detail\": \"" + json_escape(span.detail) + "\"}");
+  }
+  // Global counters as Chrome counter ("C") events so cache hit/miss totals
+  // render as tracks alongside the timeline.
+  for (const auto& [name, value] : counter_snapshot()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << json_escape(name)
+       << "\", \"cat\": \"counter\", \"ph\": \"C\", \"pid\": 1, \"ts\": 0, "
+       << "\"args\": {\"value\": " << value << "}}";
   }
   os << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
   return os.str();

@@ -30,6 +30,16 @@ class Device {
  public:
   explicit Device(DeviceSpec spec, profiler::Recorder* recorder = nullptr);
 
+  /// A Device is single-owner, single-thread state: the virtual clocks, the
+  /// memory tracker, and the fault injector's RNG all mutate on every call.
+  /// Parallel NAS workers each construct their own Device (with its own
+  /// seeded injector) rather than sharing one — copying would silently fork
+  /// the fault stream, so both copy and move are disallowed.
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+  Device(Device&&) = delete;
+  Device& operator=(Device&&) = delete;
+
   const DeviceSpec& spec() const { return spec_; }
 
   /// One-time module/library load (cuLibraryLoadData): cost scales with the

@@ -22,15 +22,21 @@ inline float load_a(const float* a, std::int64_t lda, bool trans,
   return trans ? a[col * lda + row] : a[row * lda + col];
 }
 
-// Pack a kBlockM x kBlockK panel of op(A) into contiguous tiles of kTileM
-// rows so the micro kernel streams it linearly.
-void pack_a(const float* a, std::int64_t lda, bool trans, std::int64_t m0,
-            std::int64_t mb, std::int64_t k0, std::int64_t kb, float* packed) {
+// Pack a kBlockM x kBlockK panel of op(A), pre-scaled by alpha, into
+// contiguous tiles of kTileM rows so the micro kernel streams it linearly.
+// Folding alpha into the pack touches each element exactly once; the old
+// separate rescale pass swept the panel buffer's full capacity — including
+// the stale tail beyond edge panels — a second time.
+void pack_a(const float* a, std::int64_t lda, bool trans, float alpha,
+            std::int64_t m0, std::int64_t mb, std::int64_t k0, std::int64_t kb,
+            float* packed) {
   for (std::int64_t i = 0; i < mb; i += kTileM) {
     const std::int64_t ib = std::min(kTileM, mb - i);
     for (std::int64_t p = 0; p < kb; ++p) {
       for (std::int64_t ii = 0; ii < kTileM; ++ii) {
-        *packed++ = ii < ib ? load_a(a, lda, trans, m0 + i + ii, k0 + p) : 0.0f;
+        *packed++ =
+            ii < ib ? alpha * load_a(a, lda, trans, m0 + i + ii, k0 + p)
+                    : 0.0f;
       }
     }
   }
@@ -113,10 +119,7 @@ void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
       pack_b(b, ldb, trans_b, k0, kb, n0, nb, packed_b.data());
       for (std::int64_t m0 = 0; m0 < m; m0 += mc) {
         const std::int64_t mb = std::min(mc, m - m0);
-        pack_a(a, lda, trans_a, m0, mb, k0, kb, packed_a.data());
-        if (alpha != 1.0f) {
-          for (auto& v : packed_a) v *= alpha;
-        }
+        pack_a(a, lda, trans_a, alpha, m0, mb, k0, kb, packed_a.data());
         for (std::int64_t j = 0; j < nb; j += kTileN) {
           const std::int64_t jb = std::min(kTileN, nb - j);
           const float* pb = packed_b.data() + (j / kTileN) * kb * kTileN;

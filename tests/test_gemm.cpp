@@ -76,6 +76,24 @@ TEST(Gemm, AlphaBetaSemantics) {
   expect_close(c, c_ref, 1e-2f);
 }
 
+TEST(Gemm, AlphaScalingAcrossMultiplePackedPanels) {
+  // m and k exceed the 64x256 blocking, and m % 4 != 0 leaves a zero-padded
+  // tail in the packed panel. Folding alpha into pack_a must scale exactly
+  // the packed extent of every panel — this shape covers edge panels in
+  // both dimensions across repacks.
+  Rng rng(12);
+  const int m = 70, n = 33, k = 300;
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  auto c = random_matrix(m, n, rng);
+  auto c_ref = c;
+  sgemm(false, false, m, n, k, 2.5f, a.data(), k, b.data(), n, 0.5f, c.data(),
+        n);
+  sgemm_reference(false, false, m, n, k, 2.5f, a.data(), k, b.data(), n, 0.5f,
+                  c_ref.data(), n);
+  expect_close(c, c_ref, 2e-3f * static_cast<float>(k));
+}
+
 TEST(Gemm, BetaZeroOverwritesGarbage) {
   Rng rng(6);
   const int m = 8, n = 8, k = 8;

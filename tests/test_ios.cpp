@@ -194,6 +194,36 @@ TEST(Optimize, OversizedBlockFallsBackToBranchHeuristic) {
   validate_schedule(g, opt);
 }
 
+TEST(Optimize, BlockBeyondDpMaskWidthFallsBackInsteadOfCrashing) {
+  // A 16-branch block holds more device ops (32) than the 32-bit DP mask
+  // can represent. Raising max_block_ops past kMaxDpOps used to route it
+  // into the DP's size assertion; it must degrade to the branch heuristic.
+  const auto spec = simgpu::a5500_spec();
+  const auto g = small_branched_graph(16);
+  IosOptions options;
+  options.max_block_ops = 64;  // above kMaxDpOps on purpose
+  options.max_stage_ops = 64;
+  const Schedule opt = optimize_schedule(g, spec, options);
+  validate_schedule(g, opt);
+  EXPECT_LE(schedule_cost(g, spec, opt, 1),
+            schedule_cost(g, spec, sequential_schedule(g), 1) + 1e-12);
+}
+
+TEST(Optimize, RaisedBlockLimitStillRunsDpOnSmallBlocks) {
+  // max_block_ops above kMaxDpOps is clamped, not rejected: blocks that do
+  // fit the mask keep getting the exact DP.
+  const auto spec = simgpu::a5500_spec();
+  const auto g = small_branched_graph(3);
+  IosOptions options;
+  options.max_block_ops = 64;
+  options.batch = 1;
+  const Schedule opt = optimize_schedule(g, spec, options);
+  validate_schedule(g, opt);
+  EXPECT_LE(schedule_cost(g, spec, opt, 1),
+            brute_force_best_cost(g, spec, 1) + 2 * spec.inter_stage_gap +
+                1e-9);
+}
+
 TEST(Executor, LatencyIsDeterministic) {
   const auto spec = simgpu::a5500_spec();
   const auto g = spp_graph(detect::original_sppnet());

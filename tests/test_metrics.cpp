@@ -126,6 +126,31 @@ TEST(MeanIou, AveragesConfidentPositiveDetections) {
   EXPECT_EQ(mean_iou_of_detections({}, 0.5f), 0.0);
 }
 
+TEST(AveragePrecision, MonotoneEnvelopeLiftsSawtoothDips) {
+  // Ranking: TP, FP, TP, TP with 3 positives. Raw operating points:
+  // (r=1/3, p=1), (1/3, 1/2), (2/3, 2/3), (1, 3/4). The VOC envelope lifts
+  // the two interior precisions to 3/4, giving
+  // AP = 1/3 * 1 + 1/3 * 3/4 + 1/3 * 3/4 = 5/6 (raw sum: 0.8056).
+  std::vector<ScoredDetection> dets{{0.9f, true, 0.9f},
+                                    {0.8f, false, 0.0f},
+                                    {0.7f, true, 0.9f},
+                                    {0.6f, true, 0.9f}};
+  EXPECT_NEAR(average_precision(dets), 5.0 / 6.0, 1e-6);
+}
+
+TEST(AveragePrecision, InvariantToOrderOfTiedConfidences) {
+  // A TP and an FP share confidence 0.8: no threshold separates them, so
+  // AP must not depend on which the sort happens to place first. Both
+  // orders collapse to the operating points (r=0.5, p=1), (1, 2/3):
+  // AP = 0.5 * 1 + 0.5 * 2/3 = 5/6.
+  std::vector<ScoredDetection> tp_first{
+      {0.9f, true, 0.9f}, {0.8f, true, 0.9f}, {0.8f, false, 0.0f}};
+  std::vector<ScoredDetection> fp_first{
+      {0.9f, true, 0.9f}, {0.8f, false, 0.0f}, {0.8f, true, 0.9f}};
+  EXPECT_NEAR(average_precision(tp_first), 5.0 / 6.0, 1e-6);
+  EXPECT_EQ(average_precision(tp_first), average_precision(fp_first));
+}
+
 TEST(AveragePrecision, EmptyAndAllNegativeInputs) {
   EXPECT_EQ(average_precision({}), 0.0);
   std::vector<ScoredDetection> negatives{{0.9f, false, 0.0f}};

@@ -1,0 +1,228 @@
+// Tests for the content-addressed schedule cache: cached runs must produce
+// schedules and costs identical to uncached runs across the SPP-Net family,
+// structurally identical blocks must hit across different architectures,
+// and any cost-relevant input (spec, options, batch) must change the key.
+// Hit/miss counters must surface in the profiler report and Chrome trace.
+//
+// The cache and counters are process-global, so every test starts from
+// clear() / reset_counters(). These tests run under ThreadSanitizer in CI.
+#include "ios/schedule_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "detect/sppnet_config.hpp"
+#include "graph/builder.hpp"
+#include "ios/scheduler.hpp"
+#include "ios/serialize.hpp"
+#include "nas/search_space.hpp"
+#include "profiler/counters.hpp"
+#include "profiler/recorder.hpp"
+#include "profiler/report.hpp"
+#include "profiler/trace.hpp"
+#include "simgpu/spec.hpp"
+
+namespace dcn::ios {
+namespace {
+
+constexpr std::int64_t kInputSize = 40;
+
+graph::Graph graph_of(const detect::SppNetConfig& model) {
+  return graph::build_inference_graph(model, kInputSize);
+}
+
+std::vector<detect::SppNetConfig> sppnet_family() {
+  std::vector<detect::SppNetConfig> family{
+      detect::original_sppnet(), detect::sppnet_candidate1(),
+      detect::sppnet_candidate2(), detect::sppnet_candidate3()};
+  // A few NAS coordinates beyond the named Table-2 models.
+  for (const std::int64_t conv1 : {1, 9}) {
+    nas::SearchPoint point;
+    point.conv1_kernel = conv1;
+    point.spp_first_level = 3;
+    point.fc_sizes = {512};
+    family.push_back(nas::materialize(point));
+  }
+  return family;
+}
+
+TEST(ScheduleCache, CachedSchedulesAndCostsMatchUncached) {
+  ScheduleCache& cache = ScheduleCache::global();
+  const simgpu::DeviceSpec spec = simgpu::a5500_spec();
+  for (const detect::SppNetConfig& model : sppnet_family()) {
+    const graph::Graph g = graph_of(model);
+
+    cache.set_enabled(false);
+    const Schedule uncached = optimize_schedule(g, spec);
+    const double uncached_cost = schedule_cost(g, spec, uncached, 1);
+
+    cache.set_enabled(true);
+    cache.clear();
+    const Schedule cold = optimize_schedule(g, spec);
+    const double cold_cost = schedule_cost(g, spec, cold, 1);
+    const Schedule warm = optimize_schedule(g, spec);
+    const double warm_cost = schedule_cost(g, spec, warm, 1);
+
+    EXPECT_EQ(serialize_schedule(uncached), serialize_schedule(cold))
+        << model.to_notation();
+    EXPECT_EQ(serialize_schedule(cold), serialize_schedule(warm))
+        << model.to_notation();
+    EXPECT_EQ(uncached_cost, cold_cost) << model.to_notation();
+    EXPECT_EQ(cold_cost, warm_cost) << model.to_notation();
+    // The warm pass hit for every branched block and the memoized cost.
+    const ScheduleCacheStats stats = cache.stats();
+    EXPECT_GT(stats.block_hits, 0) << model.to_notation();
+    EXPECT_GT(stats.cost_hits, 0) << model.to_notation();
+  }
+  cache.set_enabled(true);
+}
+
+TEST(ScheduleCache, StructurallyIdenticalBlocksHitAcrossArchitectures) {
+  ScheduleCache& cache = ScheduleCache::global();
+  cache.set_enabled(true);
+  cache.clear();
+  const simgpu::DeviceSpec spec = simgpu::a5500_spec();
+
+  // Same SPP level, different conv1 kernel and FC width: the trunk's odd
+  // kernels are same-padded, so the SPP block's kernel descriptors are
+  // identical and its DP solution rebases onto the new graph.
+  nas::SearchPoint a;
+  a.conv1_kernel = 3;
+  a.spp_first_level = 4;
+  a.fc_sizes = {1024};
+  optimize_schedule(graph_of(nas::materialize(a)), spec);
+  const ScheduleCacheStats after_first = cache.stats();
+  EXPECT_EQ(after_first.block_hits, 0);
+  EXPECT_GT(after_first.block_misses, 0);
+
+  nas::SearchPoint b = a;
+  b.conv1_kernel = 7;
+  b.fc_sizes = {256};
+  optimize_schedule(graph_of(nas::materialize(b)), spec);
+  const ScheduleCacheStats after_second = cache.stats();
+  EXPECT_GT(after_second.block_hits, 0);
+  EXPECT_EQ(after_second.block_misses, after_first.block_misses);
+
+  // A different SPP first level is a different block: miss, not hit.
+  nas::SearchPoint c = a;
+  c.spp_first_level = 2;
+  optimize_schedule(graph_of(nas::materialize(c)), spec);
+  const ScheduleCacheStats after_third = cache.stats();
+  EXPECT_EQ(after_third.block_hits, after_second.block_hits);
+  EXPECT_GT(after_third.block_misses, after_second.block_misses);
+}
+
+TEST(ScheduleCache, KeyIsSensitiveToSpecOptionsAndBatch) {
+  ScheduleCache& cache = ScheduleCache::global();
+  cache.set_enabled(true);
+  cache.clear();
+  const simgpu::DeviceSpec spec = simgpu::a5500_spec();
+  const graph::Graph g = graph_of(detect::original_sppnet());
+
+  optimize_schedule(g, spec);
+  const std::int64_t baseline_misses = cache.stats().block_misses;
+
+  // A different device parameterization must not reuse the solution.
+  simgpu::DeviceSpec slower = spec;
+  slower.peak_flops /= 2.0;
+  optimize_schedule(g, slower);
+  EXPECT_EQ(cache.stats().block_hits, 0);
+  EXPECT_GT(cache.stats().block_misses, baseline_misses);
+
+  // Same for the pruning width and the batch the DP prices for.
+  IosOptions narrow;
+  narrow.max_stage_ops = 2;
+  optimize_schedule(g, spec, narrow);
+  IosOptions batched;
+  batched.batch = 8;
+  optimize_schedule(g, spec, batched);
+  EXPECT_EQ(cache.stats().block_hits, 0);
+
+  // The identical call, by contrast, hits.
+  optimize_schedule(g, spec);
+  EXPECT_GT(cache.stats().block_hits, 0);
+
+  // Cost memoization distinguishes batch sizes.
+  const Schedule schedule = optimize_schedule(g, spec);
+  const double at_1 = schedule_cost(g, spec, schedule, 1);
+  const double at_8 = schedule_cost(g, spec, schedule, 8);
+  EXPECT_NE(at_1, at_8);
+  EXPECT_EQ(schedule_cost(g, spec, schedule, 1), at_1);
+  EXPECT_EQ(schedule_cost(g, spec, schedule, 8), at_8);
+}
+
+TEST(ScheduleCache, DisabledCacheNeitherStoresNorCounts) {
+  ScheduleCache& cache = ScheduleCache::global();
+  cache.set_enabled(false);
+  cache.clear();
+  const simgpu::DeviceSpec spec = simgpu::a5500_spec();
+  const graph::Graph g = graph_of(detect::original_sppnet());
+  optimize_schedule(g, spec);
+  optimize_schedule(g, spec);
+  const ScheduleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.block_hits, 0);
+  EXPECT_EQ(stats.block_misses, 0);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.set_enabled(true);
+}
+
+TEST(ScheduleCache, ConcurrentLookupsAreThreadSafe) {
+  // NAS workers race optimize_schedule over the same and different graphs;
+  // under TSan this exercises the cache's internal locking.
+  ScheduleCache& cache = ScheduleCache::global();
+  cache.set_enabled(true);
+  cache.clear();
+  const simgpu::DeviceSpec spec = simgpu::a5500_spec();
+  const auto family = sppnet_family();
+  std::vector<std::string> serialized(family.size());
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < family.size(); ++t) {
+    threads.emplace_back([t, &family, &spec, &serialized] {
+      const graph::Graph g = graph_of(family[t]);
+      for (int round = 0; round < 3; ++round) {
+        const Schedule s = optimize_schedule(g, spec);
+        schedule_cost(g, spec, s, 1);
+        serialized[t] = serialize_schedule(s);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Racing workers must have converged on the deterministic solutions.
+  cache.set_enabled(false);
+  for (std::size_t t = 0; t < family.size(); ++t) {
+    const graph::Graph g = graph_of(family[t]);
+    EXPECT_EQ(serialized[t],
+              serialize_schedule(optimize_schedule(g, spec)));
+  }
+  cache.set_enabled(true);
+}
+
+TEST(ScheduleCacheCounters, SurfaceInReportAndChromeTrace) {
+  ScheduleCache& cache = ScheduleCache::global();
+  cache.set_enabled(true);
+  cache.clear();
+  profiler::reset_counters();
+  const simgpu::DeviceSpec spec = simgpu::a5500_spec();
+  const graph::Graph g = graph_of(detect::original_sppnet());
+  optimize_schedule(g, spec);  // misses
+  optimize_schedule(g, spec);  // hits
+
+  EXPECT_GT(profiler::counter_value("schedule_cache.hit"), 0);
+  EXPECT_GT(profiler::counter_value("schedule_cache.miss"), 0);
+
+  profiler::Recorder recorder;
+  const std::string report = profiler::render_report(recorder);
+  EXPECT_NE(report.find("Counters:"), std::string::npos);
+  EXPECT_NE(report.find("schedule_cache.hit"), std::string::npos);
+
+  const std::string trace = profiler::to_chrome_trace(recorder);
+  EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(trace.find("schedule_cache.miss"), std::string::npos);
+  profiler::reset_counters();
+}
+
+}  // namespace
+}  // namespace dcn::ios
