@@ -1,9 +1,15 @@
-// Micro benchmarks: the blocked SGEMM vs the reference triple loop, at the
-// shapes the SPP-Net workload actually hits (im2col GEMMs and FC layers).
+// Micro benchmarks: the blocked SGEMM vs the reference triple loop and the
+// frozen pre-vectorization scalar kernel, at the shapes the SPP-Net workload
+// actually hits (im2col GEMMs and FC layers). Every bench reports GFLOP/s;
+// the 512^3 shape with a thread sweep is the acceptance benchmark for the
+// parallel + vectorized engine (export with
+//   bench_micro_gemm --benchmark_filter=512 \
+//     --benchmark_out=BENCH_gemm.json --benchmark_out_format=json).
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "tensor/gemm.hpp"
 
@@ -17,6 +23,20 @@ std::vector<float> random_matrix(std::int64_t n, Rng& rng) {
   return m;
 }
 
+void add_gflops(benchmark::State& state, std::int64_t m, std::int64_t n,
+                std::int64_t k) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * m * n * k, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+// Pins the engine thread count for one benchmark run, restoring the
+// process-wide default afterwards so later benches are unaffected.
+struct ThreadGuard {
+  explicit ThreadGuard(int n) { set_num_threads(n); }
+  ~ThreadGuard() { set_num_threads(0); }
+};
+
 void BM_GemmBlocked(benchmark::State& state) {
   const std::int64_t m = state.range(0);
   const std::int64_t n = state.range(1);
@@ -29,9 +49,7 @@ void BM_GemmBlocked(benchmark::State& state) {
     matmul(false, false, m, n, k, a.data(), b.data(), c.data());
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * m * n * k, benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::kIs1000);
+  add_gflops(state, m, n, k);
 }
 
 void BM_GemmReference(benchmark::State& state) {
@@ -47,23 +65,126 @@ void BM_GemmReference(benchmark::State& state) {
                     0.0f, c.data(), n);
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * m * n * k, benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::kIs1000);
+  add_gflops(state, m, n, k);
+}
+
+// The exact pre-PR kernel at its original compile flags — the honest
+// baseline the >=4x acceptance criterion is measured against.
+void BM_GemmScalarBaseline(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t n = state.range(1);
+  const std::int64_t k = state.range(2);
+  Rng rng(1);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    sgemm_blocked_scalar(false, false, m, n, k, 1.0f, a.data(), k, b.data(),
+                         n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  add_gflops(state, m, n, k);
+}
+
+// Thread-scaling sweep of the new engine; range(3) is the engine thread
+// count. Output is bit-identical across the sweep (see test_gemm).
+void BM_GemmThreads(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t n = state.range(1);
+  const std::int64_t k = state.range(2);
+  ThreadGuard guard(static_cast<int>(state.range(3)));
+  Rng rng(1);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    matmul(false, false, m, n, k, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  add_gflops(state, m, n, k);
+}
+
+// Fused bias+ReLU epilogue vs a separate post-GEMM sweep, at the conv
+// lowering shape [oc x k] * [k x ohw] with a per-row bias.
+void BM_GemmFusedBiasRelu(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t n = state.range(1);
+  const std::int64_t k = state.range(2);
+  Rng rng(1);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  const auto bias = random_matrix(m, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  GemmEpilogue ep;
+  ep.row_bias = bias.data();
+  ep.relu = true;
+  for (auto _ : state) {
+    sgemm_ex(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+             c.data(), n, ep);
+    benchmark::DoNotOptimize(c.data());
+  }
+  add_gflops(state, m, n, k);
+}
+
+void BM_GemmUnfusedBiasRelu(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t n = state.range(1);
+  const std::int64_t k = state.range(2);
+  Rng rng(1);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  const auto bias = random_matrix(m, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto _ : state) {
+    matmul(false, false, m, n, k, a.data(), b.data(), c.data());
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* row = c.data() + i * n;
+      const float bv = bias[static_cast<std::size_t>(i)];
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float v = row[j] + bv;
+        row[j] = v > 0.0f ? v : 0.0f;
+      }
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  add_gflops(state, m, n, k);
 }
 
 // conv1 im2col GEMM at 100x100: 64 x (4*3*3=36) x 10000.
 // conv3 im2col GEMM at 25x25: 256 x 1152 x 625.
 // SPP-Net #2 FC: 1 x 7680 -> 4096 (as 4096 x 7680 weight times vector).
+// 512^3: the acceptance shape for the vectorized engine.
 BENCHMARK(BM_GemmBlocked)
     ->Args({64, 10000, 36})
     ->Args({256, 625, 1152})
     ->Args({4096, 1, 7680})
     ->Args({256, 256, 256})
+    ->Args({512, 512, 512})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_GemmReference)
     ->Args({256, 256, 256})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_GemmScalarBaseline)
+    ->Args({256, 256, 256})
+    ->Args({512, 512, 512})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_GemmThreads)
+    ->Args({512, 512, 512, 1})
+    ->Args({512, 512, 512, 2})
+    ->Args({512, 512, 512, 4})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_GemmFusedBiasRelu)
+    ->Args({64, 10000, 36})
+    ->Args({256, 625, 1152})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_GemmUnfusedBiasRelu)
+    ->Args({64, 10000, 36})
+    ->Args({256, 625, 1152})
     ->Unit(benchmark::kMillisecond);
 
 void BM_GemmTransposedB(benchmark::State& state) {
@@ -79,9 +200,7 @@ void BM_GemmTransposedB(benchmark::State& state) {
     matmul(false, true, batch, out, in, x.data(), w.data(), y.data());
     benchmark::DoNotOptimize(y.data());
   }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * batch * out * in, benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::kIs1000);
+  add_gflops(state, batch, out, in);
 }
 
 BENCHMARK(BM_GemmTransposedB)->Arg(1)->Arg(20)->Unit(benchmark::kMillisecond);

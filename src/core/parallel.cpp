@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -12,7 +13,25 @@ namespace {
 // Atomic: read by hardware_threads() inside parallel regions and from pool
 // workers while the main thread may call set_num_threads.
 std::atomic<int> g_num_threads{0};  // 0 = backend default
+
+// Shared compute pool for the tensor engine. Created lazily at the first
+// parallel kernel launch and grown (replaced) when a larger thread count is
+// requested; callers hold a shared_ptr so a pool in use is never destroyed
+// under them. Workers flag themselves via tls_compute_worker so nested
+// kernel launches run inline.
+thread_local bool tls_compute_worker = false;
+
+std::mutex g_compute_pool_mutex;
+std::shared_ptr<ThreadPool> g_compute_pool;
+
+std::shared_ptr<ThreadPool> acquire_compute_pool(int threads) {
+  std::lock_guard<std::mutex> lock(g_compute_pool_mutex);
+  if (!g_compute_pool || g_compute_pool->size() < threads) {
+    g_compute_pool = std::make_shared<ThreadPool>(threads);
+  }
+  return g_compute_pool;
 }
+}  // namespace
 
 int hardware_threads() {
 #ifdef _OPENMP
@@ -69,6 +88,47 @@ void parallel_for_chunked(
   (void)threads;
 #endif
   fn(begin, end);
+}
+
+int compute_threads() {
+  const int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+bool in_compute_worker() { return tls_compute_worker; }
+
+void run_compute_tasks(int tasks, const std::function<void(int)>& fn) {
+  if (tasks <= 0) return;
+  if (tasks == 1 || compute_threads() == 1 || tls_compute_worker) {
+    for (int t = 0; t < tasks; ++t) fn(t);
+    return;
+  }
+  const auto pool = acquire_compute_pool(compute_threads());
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(tasks - 1));
+  for (int t = 1; t < tasks; ++t) {
+    futures.push_back(pool->submit([&fn, t] {
+      // Flag the worker for the duration of the task so nested kernel
+      // launches inside fn run inline (restored even if fn throws).
+      struct Flag {
+        Flag() { tls_compute_worker = true; }
+        ~Flag() { tls_compute_worker = false; }
+      } flag;
+      fn(t);
+    }));
+  }
+  fn(0);  // the caller contributes instead of idling on the futures
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool::ThreadPool(int threads) {

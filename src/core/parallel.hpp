@@ -48,6 +48,30 @@ void parallel_for_chunked(
     const std::function<void(std::int64_t, std::int64_t)>& fn,
     std::int64_t grain = 1024);
 
+/// Number of threads the tensor-engine compute pool targets: the
+/// set_num_threads() override when present, else the hardware concurrency.
+/// Unlike hardware_threads() this does not require OpenMP, so the
+/// std::thread compute pool scales even in TSan builds that avoid OpenMP.
+int compute_threads();
+
+/// True when the calling thread is a shared-compute-pool worker. Parallel
+/// kernels use this to run nested parallel regions inline instead of
+/// re-submitting to the pool, which could deadlock a fully occupied pool.
+bool in_compute_worker();
+
+/// Run fn(task) for task in [0, tasks) on the shared compute pool and block
+/// until all tasks finish. Task 0 runs on the calling thread so the caller
+/// is not parked while workers do all the lifting. Falls back to an inline
+/// serial loop when tasks <= 1, compute_threads() == 1, or when invoked
+/// from a pool worker. Exceptions from tasks are rethrown (first one wins).
+///
+/// Determinism contract: callers that need bit-reproducible results across
+/// thread counts must make the *decomposition* (what each task computes and
+/// the order partial results are reduced) independent of compute_threads();
+/// this function only varies which thread executes a task, never what a
+/// task is. See DESIGN.md "Tensor-engine threading model".
+void run_compute_tasks(int tasks, const std::function<void(int)>& fn);
+
 /// Fixed-size pool of std::thread workers draining a FIFO task queue.
 /// Tasks run in submission order (though they complete in any order); an
 /// exception escaping a task is captured and rethrown from the

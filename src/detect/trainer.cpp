@@ -2,7 +2,9 @@
 
 #include "core/error.hpp"
 #include "core/logging.hpp"
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
+#include "core/time.hpp"
 #include "nn/loss.hpp"
 
 namespace dcn::detect {
@@ -45,6 +47,12 @@ TrainHistory train_detector(Module& model, const geo::DrainageDataset& dataset,
       << "train/test split is empty (train " << split.train.size() << ", test "
       << split.test.size() << ")";
 
+  // Optionally pin the tensor engine's thread count for this run. The
+  // previous effective value is restored on exit; weights do not depend on
+  // the setting (the engine's decompositions are thread-count invariant).
+  const int previous_threads = hardware_threads();
+  if (config.jobs > 0) set_num_threads(config.jobs);
+
   Sgd optimizer(model.parameters(), config.sgd);
   Rng shuffle_rng(config.shuffle_seed);
   model.set_training(true);
@@ -69,6 +77,7 @@ TrainHistory train_detector(Module& model, const geo::DrainageDataset& dataset,
       shuffled[i] = order[perm[i]];
     }
 
+    WallTimer epoch_timer;
     double loss_sum = 0.0;
     double grad_norm_sum = 0.0;
     std::int64_t steps = 0;
@@ -91,10 +100,12 @@ TrainHistory train_detector(Module& model, const geo::DrainageDataset& dataset,
     stats.epoch = epoch;
     stats.mean_loss = steps > 0 ? loss_sum / steps : 0.0;
     stats.grad_norm = steps > 0 ? grad_norm_sum / steps : 0.0;
+    stats.seconds = epoch_timer.seconds();
     history.epochs.push_back(stats);
     if (config.verbose) {
       DCN_LOG_INFO << "epoch " << epoch << ": loss " << stats.mean_loss
-                   << ", grad norm " << stats.grad_norm;
+                   << ", grad norm " << stats.grad_norm << ", "
+                   << stats.seconds << " s";
     }
   }
 
@@ -105,6 +116,7 @@ TrainHistory train_detector(Module& model, const geo::DrainageDataset& dataset,
                  << ", accuracy " << history.final_eval.accuracy
                  << ", mean IoU " << history.final_eval.mean_iou;
   }
+  if (config.jobs > 0) set_num_threads(previous_threads);
   return history;
 }
 

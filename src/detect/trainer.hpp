@@ -29,12 +29,20 @@ struct TrainConfig {
   std::vector<double> lr_decay_milestones{0.6, 0.85};
   /// Log a line per epoch.
   bool verbose = true;
+  /// Compute threads for the tensor engine during this run (conv/GEMM
+  /// batch parallelism): 0 leaves the process-wide setting untouched,
+  /// values >= 1 call set_num_threads(jobs) for the duration of training.
+  /// Results are bit-identical for any value (see DESIGN.md "Tensor-engine
+  /// threading model").
+  int jobs = 0;
 };
 
 struct EpochStats {
   int epoch = 0;
   double mean_loss = 0.0;
   double grad_norm = 0.0;
+  /// Wall-clock seconds spent in this epoch's forward/backward/step loop.
+  double seconds = 0.0;
 };
 
 struct EvalResult {

@@ -1,12 +1,35 @@
 #include "nn/conv2d.hpp"
 
-#include <vector>
+#include <algorithm>
+#include <utility>
 
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/workspace.hpp"
 
 namespace dcn {
+namespace {
+
+// Backward accumulates weight/bias gradients into this many per-chunk
+// partial buffers, reduced in chunk order. The chunk partition depends only
+// on the batch size — never on the thread count — so training results are
+// bit-identical at any jobs setting (DESIGN.md "Tensor-engine threading
+// model"). run_compute_tasks only changes which thread executes a chunk.
+constexpr std::int64_t kGradChunks = 8;
+
+// Contiguous near-even partition of [0, batch) into `chunks` pieces.
+std::pair<std::int64_t, std::int64_t> chunk_range(std::int64_t batch,
+                                                  std::int64_t chunks,
+                                                  std::int64_t c) {
+  const std::int64_t base = batch / chunks;
+  const std::int64_t rem = batch % chunks;
+  const std::int64_t lo = c * base + std::min(c, rem);
+  return {lo, lo + base + (c < rem ? 1 : 0)};
+}
+
+}  // namespace
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel_size, std::int64_t stride,
@@ -65,20 +88,33 @@ Tensor Conv2d::forward(const Tensor& input) {
   const std::int64_t ohw = oh * ow;
 
   Tensor output(Shape{batch, out_channels_, oh, ow});
-  std::vector<float> col(static_cast<std::size_t>(k * ohw));
   const std::int64_t in_stride = in_channels_ * h * w;
   const std::int64_t out_stride = out_channels_ * ohw;
-  for (std::int64_t n = 0; n < batch; ++n) {
-    im2col(input.data() + n * in_stride, g, col.data());
-    // output[oc, ohw] = weight[oc, k] * col[k, ohw]
-    matmul(false, false, out_channels_, ohw, k, weight_.data(), col.data(),
-           output.data() + n * out_stride);
-    float* out_n = output.data() + n * out_stride;
-    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
-      const float b = bias_[oc];
-      float* row = out_n + oc * ohw;
-      for (std::int64_t i = 0; i < ohw; ++i) row[i] += b;
-    }
+  // The per-channel bias rides the GEMM's fused epilogue instead of a
+  // separate sweep over the output.
+  GemmEpilogue epilogue;
+  epilogue.row_bias = bias_.data();
+  const auto run_sample = [&](std::int64_t n) {
+    Workspace& ws = Workspace::tls();
+    Workspace::Scope scope(ws);
+    float* col = ws.floats(static_cast<std::size_t>(k * ohw));
+    im2col(input.data() + n * in_stride, g, col);
+    // output[oc, ohw] = weight[oc, k] * col[k, ohw] + bias[oc]
+    sgemm_ex(false, false, out_channels_, ohw, k, 1.0f, weight_.data(), k,
+             col, ohw, 0.0f, output.data() + n * out_stride, ohw, epilogue);
+  };
+  // Samples are independent (disjoint output) — distribute contiguous
+  // sample ranges over the pool. A single sample instead parallelizes
+  // inside the GEMM.
+  const int tasks = static_cast<int>(
+      std::min<std::int64_t>(compute_threads(), batch));
+  if (tasks <= 1) {
+    for (std::int64_t n = 0; n < batch; ++n) run_sample(n);
+  } else {
+    run_compute_tasks(tasks, [&](int t) {
+      const auto [lo, hi] = chunk_range(batch, tasks, t);
+      for (std::int64_t n = lo; n < hi; ++n) run_sample(n);
+    });
   }
   cached_input_ = input;
   has_cached_input_ = true;
@@ -101,28 +137,55 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       << "Conv2d grad shape " << grad_output.shape().to_string();
 
   Tensor grad_input(input.shape());
-  std::vector<float> col(static_cast<std::size_t>(k * ohw));
-  std::vector<float> col_grad(static_cast<std::size_t>(k * ohw));
   const std::int64_t in_stride = in_channels_ * h * w;
   const std::int64_t out_stride = out_channels_ * ohw;
 
-  for (std::int64_t n = 0; n < batch; ++n) {
-    const float* go = grad_output.data() + n * out_stride;
-    // Recompute the column matrix (cheaper than caching it for the batch).
-    im2col(input.data() + n * in_stride, g, col.data());
-    // grad_w[oc, k] += go[oc, ohw] * col[k, ohw]^T
-    sgemm(false, true, out_channels_, k, ohw, 1.0f, go, ohw, col.data(), ohw,
-          1.0f, weight_grad_.data(), k);
-    // grad_col[k, ohw] = weight[oc, k]^T * go[oc, ohw]
-    sgemm(true, false, k, ohw, out_channels_, 1.0f, weight_.data(), k, go,
-          ohw, 0.0f, col_grad.data(), ohw);
-    col2im(col_grad.data(), g, grad_input.data() + n * in_stride);
-    // grad_b[oc] += sum over spatial of go
+  // Per-chunk partial buffers for the shared weight/bias gradients (the
+  // grad_input rows are per-sample disjoint and need none). Member scratch
+  // so steady-state training reuses one allocation.
+  const std::int64_t chunks = std::min<std::int64_t>(kGradChunks, batch);
+  const std::int64_t wsize = out_channels_ * k;
+  const std::int64_t chunk_floats = wsize + out_channels_;
+  grad_scratch_.assign(static_cast<std::size_t>(chunks * chunk_floats), 0.0f);
+
+  const auto run_chunk = [&](int c) {
+    const auto [lo, hi] = chunk_range(batch, chunks, c);
+    float* wg = grad_scratch_.data() + c * chunk_floats;
+    float* bg = wg + wsize;
+    Workspace& ws = Workspace::tls();
+    Workspace::Scope scope(ws);
+    float* col = ws.floats(static_cast<std::size_t>(k * ohw));
+    float* col_grad = ws.floats(static_cast<std::size_t>(k * ohw));
+    for (std::int64_t n = lo; n < hi; ++n) {
+      const float* go = grad_output.data() + n * out_stride;
+      // Recompute the column matrix (cheaper than caching it per batch).
+      im2col(input.data() + n * in_stride, g, col);
+      // chunk grad_w[oc, k] += go[oc, ohw] * col[k, ohw]^T
+      sgemm(false, true, out_channels_, k, ohw, 1.0f, go, ohw, col, ohw,
+            1.0f, wg, k);
+      // grad_col[k, ohw] = weight[oc, k]^T * go[oc, ohw]
+      sgemm(true, false, k, ohw, out_channels_, 1.0f, weight_.data(), k, go,
+            ohw, 0.0f, col_grad, ohw);
+      col2im(col_grad, g, grad_input.data() + n * in_stride);
+      // chunk grad_b[oc] += sum over spatial of go
+      for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+        double acc = 0.0;
+        const float* row = go + oc * ohw;
+        for (std::int64_t i = 0; i < ohw; ++i) acc += row[i];
+        bg[oc] += static_cast<float>(acc);
+      }
+    }
+  };
+  run_compute_tasks(static_cast<int>(chunks), run_chunk);
+
+  // Reduce the partials in fixed chunk order into the shared gradients.
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const float* __restrict wg = grad_scratch_.data() + c * chunk_floats;
+    const float* __restrict bg = wg + wsize;
+    float* __restrict wdst = weight_grad_.data();
+    for (std::int64_t i = 0; i < wsize; ++i) wdst[i] += wg[i];
     for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
-      double acc = 0.0;
-      const float* row = go + oc * ohw;
-      for (std::int64_t i = 0; i < ohw; ++i) acc += row[i];
-      bias_grad_[oc] += static_cast<float>(acc);
+      bias_grad_[oc] += bg[oc];
     }
   }
   return grad_input;

@@ -53,6 +53,10 @@ class Conv2d : public Module {
   Tensor weight_grad_;  // same shape as weight_
   Tensor bias_grad_;    // same shape as bias_
 
+  // Per-chunk weight/bias gradient partials for the deterministic parallel
+  // backward pass; retained between steps to avoid per-call allocation.
+  std::vector<float> grad_scratch_;
+
   Tensor cached_input_;  // saved by forward for the backward pass
   bool has_cached_input_ = false;
 };

@@ -25,13 +25,13 @@ Tensor Linear::forward(const Tensor& input) {
       << "Linear in_features " << input.dim(1) << " != " << in_features_;
   const std::int64_t batch = input.dim(0);
   Tensor output(Shape{batch, out_features_});
-  // y[N, out] = x[N, in] * W[out, in]^T
-  matmul(false, true, batch, out_features_, in_features_, input.data(),
-         weight_.data(), output.data());
-  for (std::int64_t n = 0; n < batch; ++n) {
-    float* row = output.data() + n * out_features_;
-    for (std::int64_t o = 0; o < out_features_; ++o) row[o] += bias_[o];
-  }
+  // y[N, out] = x[N, in] * W[out, in]^T + b, the per-feature bias fused
+  // into the GEMM's epilogue instead of a second sweep over the output.
+  GemmEpilogue epilogue;
+  epilogue.col_bias = bias_.data();
+  sgemm_ex(false, true, batch, out_features_, in_features_, 1.0f,
+           input.data(), in_features_, weight_.data(), in_features_, 0.0f,
+           output.data(), out_features_, epilogue);
   cached_input_ = input;
   has_cached_input_ = true;
   return output;

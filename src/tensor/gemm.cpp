@@ -1,42 +1,77 @@
+// Parallel, vectorized blocked SGEMM with fused epilogues.
+//
+// Structure (GotoBLAS-style): the output C is computed in kBlockM x kBlockN
+// macro tiles; op(A)/op(B) panels are packed — alpha folded into the A pack
+// — into contiguous, zero-padded micro-tile layouts so the 4x32 micro
+// kernel streams them linearly and the compiler can keep the whole
+// accumulator tile in vector registers (32 floats = two AVX-512 or four AVX
+// lanes per row). beta is folded into the first K-block visit of each tile
+// and the optional epilogue (bias add / bias + ReLU) into the last, so C is
+// touched exactly once per K block with no separate sweeps.
+//
+// Threading: the M (or N, whichever has more micro tiles) dimension is
+// split into bands executed on the shared compute pool, each band packing
+// into its own thread-local Workspace. C tiles are disjoint across bands
+// and every C element accumulates its K blocks in the same order under any
+// partition, so results are bit-identical for any thread count.
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
-#include <vector>
+#include <cstring>
 
 #include "core/error.hpp"
 #include "core/parallel.hpp"
+#include "tensor/workspace.hpp"
 
 namespace dcn {
 namespace {
 
-// Cache-blocking parameters chosen for ~32 KiB L1 / 512 KiB L2. The micro
-// kernel accumulates a 4x8 tile of C in registers.
-constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockM = 128;
 constexpr std::int64_t kBlockN = 256;
 constexpr std::int64_t kBlockK = 256;
-constexpr std::int64_t kTileM = 4;
-constexpr std::int64_t kTileN = 8;
+constexpr std::int64_t kTileM = 4;   // micro-kernel rows (MR)
+constexpr std::int64_t kTileN = 32;  // micro-kernel cols (NR)
+
+// Don't spawn a band for less work than this (~100us of compute); small
+// GEMMs stay serial where pool latency would dominate.
+constexpr double kMinFlopsPerBand = 8.0e6;
+
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
 
 inline float load_a(const float* a, std::int64_t lda, bool trans,
                     std::int64_t row, std::int64_t col) {
   return trans ? a[col * lda + row] : a[row * lda + col];
 }
 
-// Pack a kBlockM x kBlockK panel of op(A), pre-scaled by alpha, into
-// contiguous tiles of kTileM rows so the micro kernel streams it linearly.
-// Folding alpha into the pack touches each element exactly once; the old
-// separate rescale pass swept the panel buffer's full capacity — including
-// the stale tail beyond edge panels — a second time.
+// Pack a mb x kb panel of op(A), pre-scaled by alpha, into contiguous
+// kTileM-row micro tiles (column-major within a tile) with zero-padded
+// tail rows.
 void pack_a(const float* a, std::int64_t lda, bool trans, float alpha,
             std::int64_t m0, std::int64_t mb, std::int64_t k0, std::int64_t kb,
-            float* packed) {
+            float* __restrict packed) {
   for (std::int64_t i = 0; i < mb; i += kTileM) {
     const std::int64_t ib = std::min(kTileM, mb - i);
-    for (std::int64_t p = 0; p < kb; ++p) {
-      for (std::int64_t ii = 0; ii < kTileM; ++ii) {
-        *packed++ =
-            ii < ib ? alpha * load_a(a, lda, trans, m0 + i + ii, k0 + p)
-                    : 0.0f;
+    if (ib == kTileM && !trans) {
+      const float* r0 = a + (m0 + i) * lda + k0;
+      const float* r1 = r0 + lda;
+      const float* r2 = r1 + lda;
+      const float* r3 = r2 + lda;
+      for (std::int64_t p = 0; p < kb; ++p) {
+        packed[0] = alpha * r0[p];
+        packed[1] = alpha * r1[p];
+        packed[2] = alpha * r2[p];
+        packed[3] = alpha * r3[p];
+        packed += kTileM;
+      }
+    } else {
+      for (std::int64_t p = 0; p < kb; ++p) {
+        for (std::int64_t ii = 0; ii < kTileM; ++ii) {
+          *packed++ =
+              ii < ib ? alpha * load_a(a, lda, trans, m0 + i + ii, k0 + p)
+                      : 0.0f;
+        }
       }
     }
   }
@@ -47,28 +82,39 @@ inline float load_b(const float* b, std::int64_t ldb, bool trans,
   return trans ? b[col * ldb + row] : b[row * ldb + col];
 }
 
-// Pack a kBlockK x kBlockN panel of op(B) into contiguous tiles of kTileN
-// columns.
+// Pack a kb x nb panel of op(B) into contiguous kTileN-column micro tiles
+// with zero-padded tail columns.
 void pack_b(const float* b, std::int64_t ldb, bool trans, std::int64_t k0,
-            std::int64_t kb, std::int64_t n0, std::int64_t nb, float* packed) {
+            std::int64_t kb, std::int64_t n0, std::int64_t nb,
+            float* __restrict packed) {
   for (std::int64_t j = 0; j < nb; j += kTileN) {
     const std::int64_t jb = std::min(kTileN, nb - j);
-    for (std::int64_t p = 0; p < kb; ++p) {
-      for (std::int64_t jj = 0; jj < kTileN; ++jj) {
-        *packed++ = jj < jb ? load_b(b, ldb, trans, k0 + p, n0 + j + jj) : 0.0f;
+    if (jb == kTileN && !trans) {
+      const float* src = b + k0 * ldb + n0 + j;
+      for (std::int64_t p = 0; p < kb; ++p) {
+        std::memcpy(packed, src, kTileN * sizeof(float));
+        src += ldb;
+        packed += kTileN;
+      }
+    } else {
+      for (std::int64_t p = 0; p < kb; ++p) {
+        for (std::int64_t jj = 0; jj < kTileN; ++jj) {
+          *packed++ =
+              jj < jb ? load_b(b, ldb, trans, k0 + p, n0 + j + jj) : 0.0f;
+        }
       }
     }
   }
 }
 
-// C tile += packed A panel row-tile * packed B panel col-tile.
-void micro_kernel(std::int64_t kb, const float* pa, const float* pb,
-                  float* c, std::int64_t ldc, std::int64_t ib,
-                  std::int64_t jb) {
-  float acc[kTileM][kTileN] = {};
+// acc += packed A micro panel * packed B micro panel. The fixed-trip inner
+// loop over kTileN contiguous floats is what the compiler vectorizes.
+inline void micro_accum(std::int64_t kb, const float* __restrict pa,
+                        const float* __restrict pb,
+                        float acc[kTileM][kTileN]) {
   for (std::int64_t p = 0; p < kb; ++p) {
-    const float* a_col = pa + p * kTileM;
-    const float* b_row = pb + p * kTileN;
+    const float* __restrict a_col = pa + p * kTileM;
+    const float* __restrict b_row = pb + p * kTileN;
     for (std::int64_t ii = 0; ii < kTileM; ++ii) {
       const float av = a_col[ii];
       for (std::int64_t jj = 0; jj < kTileN; ++jj) {
@@ -76,63 +122,217 @@ void micro_kernel(std::int64_t kb, const float* pa, const float* pb,
       }
     }
   }
+}
+
+// Store the accumulator into C with the beta/epilogue semantics of the
+// K-block position: the first K block folds beta in (never reading C when
+// beta == 0, so uninitialized output memory is safely overwritten), middle
+// blocks accumulate, and the last block applies the fused epilogue while
+// the tile is still hot. row_bias/col_bias are pre-offset to the tile.
+void store_tile(float* __restrict c, std::int64_t ldc,
+                const float acc[kTileM][kTileN], std::int64_t ib,
+                std::int64_t jb, bool first, float beta,
+                const GemmEpilogue* ep, const float* __restrict row_bias,
+                const float* __restrict col_bias) {
+  if (ib == kTileM && jb == kTileN && !ep) {
+    if (!first) {  // interior K block: plain accumulate
+      for (std::int64_t ii = 0; ii < kTileM; ++ii) {
+        float* __restrict crow = c + ii * ldc;
+        for (std::int64_t jj = 0; jj < kTileN; ++jj) crow[jj] += acc[ii][jj];
+      }
+      return;
+    }
+    if (beta == 0.0f) {  // first K block of a fresh output
+      for (std::int64_t ii = 0; ii < kTileM; ++ii) {
+        float* __restrict crow = c + ii * ldc;
+        for (std::int64_t jj = 0; jj < kTileN; ++jj) crow[jj] = acc[ii][jj];
+      }
+      return;
+    }
+  }
+  if (ib == kTileM && jb == kTileN && ep && first && beta == 0.0f) {
+    // The layers' hot path: single K block, fresh output, fused epilogue.
+    const bool relu = ep->relu;
+    for (std::int64_t ii = 0; ii < kTileM; ++ii) {
+      float* __restrict crow = c + ii * ldc;
+      const float rb = row_bias ? row_bias[ii] : 0.0f;
+      if (col_bias) {
+        for (std::int64_t jj = 0; jj < kTileN; ++jj) {
+          float v = acc[ii][jj] + rb + col_bias[jj];
+          crow[jj] = relu && v < 0.0f ? 0.0f : v;
+        }
+      } else {
+        for (std::int64_t jj = 0; jj < kTileN; ++jj) {
+          float v = acc[ii][jj] + rb;
+          crow[jj] = relu && v < 0.0f ? 0.0f : v;
+        }
+      }
+    }
+    return;
+  }
+  // Generic path: edge tiles and the rarer beta/epilogue combinations.
   for (std::int64_t ii = 0; ii < ib; ++ii) {
+    float* crow = c + ii * ldc;
     for (std::int64_t jj = 0; jj < jb; ++jj) {
-      c[ii * ldc + jj] += acc[ii][jj];
+      float v = acc[ii][jj];
+      if (!first) {
+        v += crow[jj];
+      } else if (beta != 0.0f) {
+        v += beta * crow[jj];
+      }
+      if (ep) {
+        if (row_bias) v += row_bias[ii];
+        if (col_bias) v += col_bias[jj];
+        if (ep->relu && v < 0.0f) v = 0.0f;
+      }
+      crow[jj] = v;
+    }
+  }
+}
+
+struct GemmArgs {
+  bool trans_a;
+  bool trans_b;
+  std::int64_t m, n, k;
+  float alpha;
+  const float* a;
+  std::int64_t lda;
+  const float* b;
+  std::int64_t ldb;
+  float beta;
+  float* c;
+  std::int64_t ldc;
+  const GemmEpilogue* epilogue;  // nullptr when empty
+};
+
+// Compute C rows [m_lo, m_hi) x cols [n_lo, n_hi); pack buffers come from
+// the executing thread's workspace so bands share no mutable state.
+void gemm_band(const GemmArgs& g, std::int64_t m_lo, std::int64_t m_hi,
+               std::int64_t n_lo, std::int64_t n_hi) {
+  Workspace& ws = Workspace::tls();
+  Workspace::Scope scope(ws);
+  const std::int64_t mc = std::min(kBlockM, m_hi - m_lo);
+  const std::int64_t nc = std::min(kBlockN, n_hi - n_lo);
+  const std::int64_t kc = std::min(kBlockK, g.k);
+  float* packed_a =
+      ws.floats(static_cast<std::size_t>(ceil_div(mc, kTileM) * kTileM * kc));
+  float* packed_b =
+      ws.floats(static_cast<std::size_t>(ceil_div(nc, kTileN) * kTileN * kc));
+  for (std::int64_t k0 = 0; k0 < g.k; k0 += kc) {
+    const std::int64_t kb = std::min(kc, g.k - k0);
+    const bool first = k0 == 0;
+    const GemmEpilogue* ep = (k0 + kb == g.k) ? g.epilogue : nullptr;
+    for (std::int64_t n0 = n_lo; n0 < n_hi; n0 += nc) {
+      const std::int64_t nb = std::min(nc, n_hi - n0);
+      pack_b(g.b, g.ldb, g.trans_b, k0, kb, n0, nb, packed_b);
+      for (std::int64_t m0 = m_lo; m0 < m_hi; m0 += mc) {
+        const std::int64_t mb = std::min(mc, m_hi - m0);
+        pack_a(g.a, g.lda, g.trans_a, g.alpha, m0, mb, k0, kb, packed_a);
+        for (std::int64_t j = 0; j < nb; j += kTileN) {
+          const std::int64_t jb = std::min(kTileN, nb - j);
+          const float* pb = packed_b + (j / kTileN) * kb * kTileN;
+          for (std::int64_t i = 0; i < mb; i += kTileM) {
+            const std::int64_t ib = std::min(kTileM, mb - i);
+            const float* pa = packed_a + (i / kTileM) * kb * kTileM;
+            float acc[kTileM][kTileN] = {};
+            micro_accum(kb, pa, pb, acc);
+            const GemmEpilogue* tile_ep = ep;
+            const float* row_bias =
+                tile_ep && tile_ep->row_bias ? tile_ep->row_bias + m0 + i
+                                             : nullptr;
+            const float* col_bias =
+                tile_ep && tile_ep->col_bias ? tile_ep->col_bias + n0 + j
+                                             : nullptr;
+            store_tile(g.c + (m0 + i) * g.ldc + (n0 + j), g.ldc, acc, ib, jb,
+                       first, g.beta, tile_ep, row_bias, col_bias);
+          }
+        }
+      }
+    }
+  }
+}
+
+// beta-scale + epilogue sweep for the degenerate k == 0 / alpha == 0 cases
+// where no K block ever visits the tiles.
+void scale_epilogue_sweep(const GemmArgs& g) {
+  for (std::int64_t i = 0; i < g.m; ++i) {
+    float* row = g.c + i * g.ldc;
+    const float rb =
+        g.epilogue && g.epilogue->row_bias ? g.epilogue->row_bias[i] : 0.0f;
+    for (std::int64_t j = 0; j < g.n; ++j) {
+      float v = g.beta == 0.0f ? 0.0f : g.beta * row[j];
+      if (g.epilogue) {
+        v += rb;
+        if (g.epilogue->col_bias) v += g.epilogue->col_bias[j];
+        if (g.epilogue->relu && v < 0.0f) v = 0.0f;
+      }
+      row[j] = v;
     }
   }
 }
 
 }  // namespace
 
-void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
-           std::int64_t k, float alpha, const float* a, std::int64_t lda,
-           const float* b, std::int64_t ldb, float beta, float* c,
-           std::int64_t ldc) {
+void sgemm_ex(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+              std::int64_t k, float alpha, const float* a, std::int64_t lda,
+              const float* b, std::int64_t ldb, float beta, float* c,
+              std::int64_t ldc, const GemmEpilogue& epilogue) {
   DCN_CHECK(m >= 0 && n >= 0 && k >= 0) << "gemm dims " << m << 'x' << n
                                         << 'x' << k;
   if (m == 0 || n == 0) return;
 
-  // Scale C by beta first so the accumulating micro kernel can simply add.
-  if (beta == 0.0f) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
-    }
-  } else if (beta != 1.0f) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      for (std::int64_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
-    }
-  }
-  if (k == 0 || alpha == 0.0f) return;
+  GemmArgs args{trans_a, trans_b, m,    n,   k, alpha, a,
+                lda,     b,       ldb,  beta, c, ldc,   nullptr};
+  if (!epilogue.empty()) args.epilogue = &epilogue;
 
-  const std::int64_t mc = std::min(kBlockM, m);
-  const std::int64_t nc = std::min(kBlockN, n);
-  const std::int64_t kc = std::min(kBlockK, k);
-  std::vector<float> packed_a(
-      static_cast<std::size_t>(((mc + kTileM - 1) / kTileM) * kTileM * kc));
-  std::vector<float> packed_b(
-      static_cast<std::size_t>(((nc + kTileN - 1) / kTileN) * kTileN * kc));
-  for (std::int64_t k0 = 0; k0 < k; k0 += kc) {
-    const std::int64_t kb = std::min(kc, k - k0);
-    for (std::int64_t n0 = 0; n0 < n; n0 += nc) {
-      const std::int64_t nb = std::min(nc, n - n0);
-      pack_b(b, ldb, trans_b, k0, kb, n0, nb, packed_b.data());
-      for (std::int64_t m0 = 0; m0 < m; m0 += mc) {
-        const std::int64_t mb = std::min(mc, m - m0);
-        pack_a(a, lda, trans_a, alpha, m0, mb, k0, kb, packed_a.data());
-        for (std::int64_t j = 0; j < nb; j += kTileN) {
-          const std::int64_t jb = std::min(kTileN, nb - j);
-          const float* pb = packed_b.data() + (j / kTileN) * kb * kTileN;
-          for (std::int64_t i = 0; i < mb; i += kTileM) {
-            const std::int64_t ib = std::min(kTileM, mb - i);
-            const float* pa = packed_a.data() + (i / kTileM) * kb * kTileM;
-            micro_kernel(kb, pa, pb, c + (m0 + i) * ldc + (n0 + j), ldc, ib,
-                         jb);
-          }
-        }
-      }
-    }
+  if (k == 0 || alpha == 0.0f) {
+    scale_epilogue_sweep(args);
+    return;
   }
+
+  int bands = 1;
+  const int threads = compute_threads();
+  if (threads > 1 && !in_compute_worker()) {
+    const double flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) * static_cast<double>(k);
+    bands = static_cast<int>(std::min<double>(
+        threads, std::max(1.0, flops / kMinFlopsPerBand)));
+  }
+  if (bands <= 1) {
+    gemm_band(args, 0, m, 0, n);
+    return;
+  }
+  // Split whichever dimension has more micro tiles so bands stay wide
+  // enough to amortize their packing.
+  const std::int64_t tiles_m = ceil_div(m, kTileM);
+  const std::int64_t tiles_n = ceil_div(n, kTileN);
+  if (tiles_m >= tiles_n) {
+    const std::int64_t rows =
+        ceil_div(ceil_div(m, static_cast<std::int64_t>(bands)), kTileM) *
+        kTileM;
+    const int actual = static_cast<int>(ceil_div(m, rows));
+    run_compute_tasks(actual, [&](int t) {
+      const std::int64_t lo = static_cast<std::int64_t>(t) * rows;
+      gemm_band(args, lo, std::min(m, lo + rows), 0, n);
+    });
+  } else {
+    const std::int64_t cols =
+        ceil_div(ceil_div(n, static_cast<std::int64_t>(bands)), kTileN) *
+        kTileN;
+    const int actual = static_cast<int>(ceil_div(n, cols));
+    run_compute_tasks(actual, [&](int t) {
+      const std::int64_t lo = static_cast<std::int64_t>(t) * cols;
+      gemm_band(args, 0, m, lo, std::min(n, lo + cols));
+    });
+  }
+}
+
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, float alpha, const float* a, std::int64_t lda,
+           const float* b, std::int64_t ldb, float beta, float* c,
+           std::int64_t ldc) {
+  sgemm_ex(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+           GemmEpilogue{});
 }
 
 void matmul(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,

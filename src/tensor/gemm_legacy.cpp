@@ -1,0 +1,135 @@
+// The pre-threading scalar blocked SGEMM, frozen as a baseline.
+//
+// This is the engine exactly as it shipped before the parallel + vectorized
+// rewrite in gemm.cpp: single-threaded, 4x8 scalar register tile, per-call
+// std::vector pack buffers. It lives in its own translation unit and is
+// deliberately excluded from the DCN_NATIVE_KERNELS tuned-flags list so
+// bench_micro_gemm measures the new engine against what the repo actually
+// ran before, not against the old code rebuilt with better flags.
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dcn {
+namespace {
+
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 256;
+constexpr std::int64_t kTileM = 4;
+constexpr std::int64_t kTileN = 8;
+
+inline float load_a(const float* a, std::int64_t lda, bool trans,
+                    std::int64_t row, std::int64_t col) {
+  return trans ? a[col * lda + row] : a[row * lda + col];
+}
+
+void pack_a(const float* a, std::int64_t lda, bool trans, float alpha,
+            std::int64_t m0, std::int64_t mb, std::int64_t k0, std::int64_t kb,
+            float* packed) {
+  for (std::int64_t i = 0; i < mb; i += kTileM) {
+    const std::int64_t ib = std::min(kTileM, mb - i);
+    for (std::int64_t p = 0; p < kb; ++p) {
+      for (std::int64_t ii = 0; ii < kTileM; ++ii) {
+        *packed++ =
+            ii < ib ? alpha * load_a(a, lda, trans, m0 + i + ii, k0 + p)
+                    : 0.0f;
+      }
+    }
+  }
+}
+
+inline float load_b(const float* b, std::int64_t ldb, bool trans,
+                    std::int64_t row, std::int64_t col) {
+  return trans ? b[col * ldb + row] : b[row * ldb + col];
+}
+
+void pack_b(const float* b, std::int64_t ldb, bool trans, std::int64_t k0,
+            std::int64_t kb, std::int64_t n0, std::int64_t nb, float* packed) {
+  for (std::int64_t j = 0; j < nb; j += kTileN) {
+    const std::int64_t jb = std::min(kTileN, nb - j);
+    for (std::int64_t p = 0; p < kb; ++p) {
+      for (std::int64_t jj = 0; jj < kTileN; ++jj) {
+        *packed++ = jj < jb ? load_b(b, ldb, trans, k0 + p, n0 + j + jj) : 0.0f;
+      }
+    }
+  }
+}
+
+void micro_kernel(std::int64_t kb, const float* pa, const float* pb,
+                  float* c, std::int64_t ldc, std::int64_t ib,
+                  std::int64_t jb) {
+  float acc[kTileM][kTileN] = {};
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const float* a_col = pa + p * kTileM;
+    const float* b_row = pb + p * kTileN;
+    for (std::int64_t ii = 0; ii < kTileM; ++ii) {
+      const float av = a_col[ii];
+      for (std::int64_t jj = 0; jj < kTileN; ++jj) {
+        acc[ii][jj] += av * b_row[jj];
+      }
+    }
+  }
+  for (std::int64_t ii = 0; ii < ib; ++ii) {
+    for (std::int64_t jj = 0; jj < jb; ++jj) {
+      c[ii * ldc + jj] += acc[ii][jj];
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm_blocked_scalar(bool trans_a, bool trans_b, std::int64_t m,
+                          std::int64_t n, std::int64_t k, float alpha,
+                          const float* a, std::int64_t lda, const float* b,
+                          std::int64_t ldb, float beta, float* c,
+                          std::int64_t ldc) {
+  DCN_CHECK(m >= 0 && n >= 0 && k >= 0) << "gemm dims " << m << 'x' << n
+                                        << 'x' << k;
+  if (m == 0 || n == 0) return;
+
+  if (beta == 0.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    }
+  }
+  if (k == 0 || alpha == 0.0f) return;
+
+  const std::int64_t mc = std::min(kBlockM, m);
+  const std::int64_t nc = std::min(kBlockN, n);
+  const std::int64_t kc = std::min(kBlockK, k);
+  std::vector<float> packed_a(
+      static_cast<std::size_t>(((mc + kTileM - 1) / kTileM) * kTileM * kc));
+  std::vector<float> packed_b(
+      static_cast<std::size_t>(((nc + kTileN - 1) / kTileN) * kTileN * kc));
+  for (std::int64_t k0 = 0; k0 < k; k0 += kc) {
+    const std::int64_t kb = std::min(kc, k - k0);
+    for (std::int64_t n0 = 0; n0 < n; n0 += nc) {
+      const std::int64_t nb = std::min(nc, n - n0);
+      pack_b(b, ldb, trans_b, k0, kb, n0, nb, packed_b.data());
+      for (std::int64_t m0 = 0; m0 < m; m0 += mc) {
+        const std::int64_t mb = std::min(mc, m - m0);
+        pack_a(a, lda, trans_a, alpha, m0, mb, k0, kb, packed_a.data());
+        for (std::int64_t j = 0; j < nb; j += kTileN) {
+          const std::int64_t jb = std::min(kTileN, nb - j);
+          const float* pb = packed_b.data() + (j / kTileN) * kb * kTileN;
+          for (std::int64_t i = 0; i < mb; i += kTileM) {
+            const std::int64_t ib = std::min(kTileM, mb - i);
+            const float* pa = packed_a.data() + (i / kTileM) * kb * kTileM;
+            micro_kernel(kb, pa, pb, c + (m0 + i) * ldc + (n0 + j), ldc, ib,
+                         jb);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dcn

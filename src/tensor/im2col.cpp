@@ -1,8 +1,29 @@
 #include "tensor/im2col.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "core/error.hpp"
 
 namespace dcn {
+namespace {
+
+// Valid output-x range [ox_lo, ox_hi) for which ix = ox*stride - pad + k
+// lands inside [0, width): the interior where no per-element padding
+// predicate is needed.
+inline void valid_ox_range(std::int64_t ow, std::int64_t width,
+                           std::int64_t stride, std::int64_t pad,
+                           std::int64_t k, std::int64_t* ox_lo,
+                           std::int64_t* ox_hi) {
+  const std::int64_t shift = pad - k;  // ix = ox*stride - shift
+  std::int64_t lo = shift > 0 ? (shift + stride - 1) / stride : 0;
+  std::int64_t hi = (width - 1 + shift) / stride + 1;  // width-1+shift >= ...
+  if (width - 1 + shift < 0) hi = 0;
+  *ox_lo = std::min(std::max<std::int64_t>(lo, 0), ow);
+  *ox_hi = std::min(std::max(hi, *ox_lo), ow);
+}
+
+}  // namespace
 
 void im2col(const float* im, const ConvGeometry& g, float* col) {
   const std::int64_t oh = g.out_h();
@@ -15,17 +36,35 @@ void im2col(const float* im, const ConvGeometry& g, float* col) {
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
         float* col_row =
             col + ((c * g.kernel_h + kh) * g.kernel_w + kw) * out_cols;
+        std::int64_t ox_lo, ox_hi;
+        valid_ox_range(ow, g.width, g.stride_w, g.pad_w, kw, &ox_lo, &ox_hi);
         for (std::int64_t oy = 0; oy < oh; ++oy) {
+          float* __restrict dst = col_row + oy * ow;
           const std::int64_t iy = oy * g.stride_h - g.pad_h + kh;
           if (iy < 0 || iy >= g.height) {
-            for (std::int64_t ox = 0; ox < ow; ++ox) col_row[oy * ow + ox] = 0;
+            std::memset(dst, 0, static_cast<std::size_t>(ow) * sizeof(float));
             continue;
           }
-          const float* im_row = im_c + iy * g.width;
-          for (std::int64_t ox = 0; ox < ow; ++ox) {
-            const std::int64_t ix = ox * g.stride_w - g.pad_w + kw;
-            col_row[oy * ow + ox] =
-                (ix >= 0 && ix < g.width) ? im_row[ix] : 0.0f;
+          const float* __restrict im_row = im_c + iy * g.width;
+          // Edge columns hit padding: zero-fill outside [ox_lo, ox_hi).
+          if (ox_lo > 0) {
+            std::memset(dst, 0,
+                        static_cast<std::size_t>(ox_lo) * sizeof(float));
+          }
+          // Interior fast path: every tap is in bounds, no predicate.
+          const std::int64_t ix0 = ox_lo * g.stride_w - g.pad_w + kw;
+          if (g.stride_w == 1) {
+            std::memcpy(dst + ox_lo, im_row + ix0,
+                        static_cast<std::size_t>(ox_hi - ox_lo) *
+                            sizeof(float));
+          } else {
+            for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+              dst[ox] = im_row[ix0 + (ox - ox_lo) * g.stride_w];
+            }
+          }
+          if (ox_hi < ow) {
+            std::memset(dst + ox_hi, 0,
+                        static_cast<std::size_t>(ow - ox_hi) * sizeof(float));
           }
         }
       }
@@ -43,13 +82,24 @@ void col2im(const float* col, const ConvGeometry& g, float* im) {
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
         const float* col_row =
             col + ((c * g.kernel_h + kh) * g.kernel_w + kw) * out_cols;
+        std::int64_t ox_lo, ox_hi;
+        valid_ox_range(ow, g.width, g.stride_w, g.pad_w, kw, &ox_lo, &ox_hi);
         for (std::int64_t oy = 0; oy < oh; ++oy) {
           const std::int64_t iy = oy * g.stride_h - g.pad_h + kh;
           if (iy < 0 || iy >= g.height) continue;
-          float* im_row = im_c + iy * g.width;
-          for (std::int64_t ox = 0; ox < ow; ++ox) {
-            const std::int64_t ix = ox * g.stride_w - g.pad_w + kw;
-            if (ix >= 0 && ix < g.width) im_row[ix] += col_row[oy * ow + ox];
+          float* __restrict im_row = im_c + iy * g.width;
+          const float* __restrict src = col_row + oy * ow;
+          // Out-of-range taps scatter into padding: nothing to accumulate.
+          const std::int64_t ix0 = ox_lo * g.stride_w - g.pad_w + kw;
+          if (g.stride_w == 1) {
+            float* __restrict dst = im_row + ix0;
+            for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+              dst[ox - ox_lo] += src[ox];
+            }
+          } else {
+            for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+              im_row[ix0 + (ox - ox_lo) * g.stride_w] += src[ox];
+            }
           }
         }
       }

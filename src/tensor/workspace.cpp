@@ -1,0 +1,94 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "core/error.hpp"
+
+namespace dcn {
+namespace {
+
+constexpr std::size_t kAlign = 64;  // cache line; also AVX-512 vector width
+constexpr std::size_t kMinBlockFloats = 1 << 14;  // 64 KiB
+
+// Round allocations to a multiple of the alignment so consecutive
+// allocations from one block all stay 64-byte aligned.
+std::size_t round_up(std::size_t n) {
+  const std::size_t unit = kAlign / sizeof(float);
+  return (n + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+void Workspace::AlignedDeleter::operator()(float* p) const {
+  ::operator delete[](p, std::align_val_t{kAlign});
+}
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+Workspace::Scope::Scope(Workspace& ws) : ws_(ws) {
+  block_ = ws_.cursor_;
+  used_ = ws_.blocks_.empty() ? 0 : ws_.blocks_[ws_.cursor_].used;
+  ++ws_.depth_;
+}
+
+Workspace::Scope::~Scope() {
+  --ws_.depth_;
+  ws_.restore(block_, used_);
+}
+
+float* Workspace::floats(std::size_t n) {
+  DCN_CHECK(depth_ > 0) << "Workspace::floats outside a Scope";
+  n = round_up(std::max<std::size_t>(n, 1));
+  // Advance through existing blocks until one fits the request.
+  while (cursor_ < blocks_.size()) {
+    Block& b = blocks_[cursor_];
+    if (b.used + n <= b.size) {
+      float* p = b.data.get() + b.used;
+      b.used += n;
+      return p;
+    }
+    if (cursor_ + 1 == blocks_.size()) break;
+    ++cursor_;
+  }
+  // Grow: geometric in total capacity so repeated growth is amortized.
+  Block block;
+  block.size = std::max({n, kMinBlockFloats, capacity()});
+  block.data.reset(static_cast<float*>(
+      ::operator new[](block.size * sizeof(float), std::align_val_t{kAlign})));
+  block.used = n;
+  blocks_.push_back(std::move(block));
+  cursor_ = blocks_.size() - 1;
+  return blocks_.back().data.get() + blocks_.back().used - n;
+}
+
+void Workspace::restore(std::size_t block, std::size_t used) {
+  for (std::size_t i = block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+  if (block < blocks_.size()) blocks_[block].used = used;
+  cursor_ = std::min(block, blocks_.empty() ? 0 : blocks_.size() - 1);
+  // At the outermost scope no pointers remain live: collapse fragmented
+  // blocks into one sized to the high-water mark so future passes are
+  // contiguous.
+  if (depth_ == 0 && blocks_.size() > 1) {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    blocks_.clear();
+    Block merged;
+    merged.size = total;
+    merged.data.reset(static_cast<float*>(::operator new[](
+        total * sizeof(float), std::align_val_t{kAlign})));
+    blocks_.push_back(std::move(merged));
+    cursor_ = 0;
+  }
+}
+
+std::size_t Workspace::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace dcn

@@ -1,0 +1,80 @@
+// Thread-local scratch arena for tensor-engine kernels.
+//
+// The GEMM pack buffers, im2col column matrices, and per-chunk gradient
+// partials used to be per-call std::vector allocations — one or two heap
+// round-trips per sample per layer per step. The arena replaces them with
+// bump allocation out of thread-local storage that is retained between
+// calls, so steady-state training does no heap allocation on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace dcn {
+
+/// Per-thread bump arena. Usage:
+///
+///   Workspace& ws = Workspace::tls();
+///   Workspace::Scope scope(ws);          // marks the arena
+///   float* col = ws.floats(k * ohw);     // 64-byte aligned scratch
+///   ...                                  // scope exit releases `col`
+///
+/// Scopes nest: a Conv2d sample task opens a scope for its column matrix,
+/// and the GEMM it calls opens an inner scope for its pack buffers. Growth
+/// is append-only across a list of blocks, so pointers handed out stay
+/// valid until their own scope closes even when a deeper allocation grows
+/// the arena. When the outermost scope closes, fragmented blocks are
+/// coalesced into one block sized to the high-water mark, so the next pass
+/// runs out of a single contiguous allocation.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// The calling thread's arena.
+  static Workspace& tls();
+
+  /// 64-byte-aligned uninitialized scratch for `n` floats, valid until the
+  /// innermost open Scope closes. Requires an open Scope.
+  float* floats(std::size_t n);
+
+  /// RAII arena mark: restores the allocation cursor on destruction,
+  /// releasing everything allocated inside the scope at once.
+  class Scope {
+   public:
+    explicit Scope(Workspace& ws);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Workspace& ws_;
+    std::size_t block_;
+    std::size_t used_;
+  };
+
+  /// Total floats of backing storage currently held (tests/diagnostics).
+  std::size_t capacity() const;
+  /// Open scope count (tests/diagnostics).
+  int depth() const { return depth_; }
+
+ private:
+  struct AlignedDeleter {
+    void operator()(float* p) const;
+  };
+  struct Block {
+    std::unique_ptr<float[], AlignedDeleter> data;
+    std::size_t size = 0;  // floats
+    std::size_t used = 0;  // floats
+  };
+
+  void restore(std::size_t block, std::size_t used);
+
+  std::vector<Block> blocks_;
+  std::size_t cursor_ = 0;  // index of the block currently bump-allocated
+  int depth_ = 0;
+};
+
+}  // namespace dcn

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <tuple>
 #include <vector>
 
@@ -105,7 +106,15 @@ INSTANTIATE_TEST_SUITE_P(
                     ConvCase{2, 8, 8, 5, 1, 2}, ConvCase{3, 9, 7, 3, 2, 1},
                     ConvCase{4, 12, 12, 1, 1, 0}, ConvCase{1, 6, 6, 3, 3, 0},
                     ConvCase{2, 11, 13, 7, 2, 3},
-                    ConvCase{4, 16, 16, 9, 1, 4}));
+                    ConvCase{4, 16, 16, 9, 1, 4},
+                    // Interior/edge split stress: padding at least the
+                    // kernel span (all-edge rows/cols), a width narrower
+                    // than the kernel, stride > kernel, and odd stride/pad
+                    // mixes that make the valid-ox interval empty or
+                    // one-sided on some taps.
+                    ConvCase{1, 4, 4, 3, 1, 3}, ConvCase{2, 9, 2, 3, 1, 2},
+                    ConvCase{1, 7, 7, 2, 5, 1}, ConvCase{3, 8, 5, 4, 3, 2},
+                    ConvCase{1, 1, 1, 1, 1, 2}, ConvCase{2, 6, 9, 5, 4, 4}));
 
 TEST(Im2Col, PaddingRegionsAreZero) {
   ConvGeometry g;
@@ -160,6 +169,52 @@ TEST(Im2Col, Col2ImIsAdjoint) {
     rhs += static_cast<double>(x[i]) * back[i];
   }
   EXPECT_NEAR(lhs, rhs, 1e-3 * std::abs(lhs) + 1e-3);
+}
+
+TEST(Im2Col, Col2ImIsAdjointAcrossEdgeGeometries) {
+  // Same adjointness property swept over geometries that exercise the
+  // interior fast path, the zero-filled edges, and strided accumulation.
+  const std::vector<std::array<std::int64_t, 8>> cases = {
+      // {c, h, w, kh, kw, stride_h|w merged below: sh, sw, pad}
+      {2, 8, 8, 3, 3, 1, 1, 1},  {1, 4, 4, 3, 3, 1, 1, 3},
+      {2, 9, 2, 3, 3, 1, 1, 2},  {1, 7, 7, 2, 2, 5, 5, 1},
+      {3, 8, 5, 4, 4, 3, 2, 2},  {2, 6, 9, 5, 5, 4, 3, 4},
+      {1, 10, 10, 1, 1, 2, 2, 0}};
+  for (const auto& cs : cases) {
+    ConvGeometry g;
+    g.channels = cs[0];
+    g.height = cs[1];
+    g.width = cs[2];
+    g.kernel_h = cs[3];
+    g.kernel_w = cs[4];
+    g.stride_h = cs[5];
+    g.stride_w = cs[6];
+    g.pad_h = g.pad_w = cs[7];
+    ASSERT_GT(g.out_h(), 0);
+    ASSERT_GT(g.out_w(), 0);
+    const std::int64_t k = g.channels * g.kernel_h * g.kernel_w;
+    const std::int64_t cols = g.out_h() * g.out_w();
+    Rng rng(static_cast<std::uint64_t>(cs[0] * 131 + cs[1] * 17 + cs[7]));
+    const auto x = random_vec(
+        static_cast<std::size_t>(g.channels * g.height * g.width), rng);
+    const auto y = random_vec(static_cast<std::size_t>(k * cols), rng);
+    std::vector<float> col(static_cast<std::size_t>(k * cols));
+    im2col(x.data(), g, col.data());
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      lhs += static_cast<double>(col[i]) * y[i];
+    }
+    std::vector<float> back(x.size(), 0.0f);
+    col2im(y.data(), g, back.data());
+    double rhs = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      rhs += static_cast<double>(x[i]) * back[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-3 * std::abs(lhs) + 1e-3)
+        << "geometry " << g.channels << 'x' << g.height << 'x' << g.width
+        << " k" << g.kernel_h << " s" << g.stride_h << '/' << g.stride_w
+        << " p" << g.pad_h;
+  }
 }
 
 TEST(Im2Col, Col2ImAccumulates) {
