@@ -1,0 +1,139 @@
+// End-to-end serving demo: NAS-selected detector behind a dynamic batcher.
+//
+// Chains the whole library: a small NAS campaign scores SPP-Net variants
+// and the accuracy-constrained rule picks the deployment model; IOS
+// optimizes its inference schedule for the serving batch size; then a
+// synthetic diurnal + bursty request stream (default 60 virtual seconds)
+// is served with SLO deadlines, bounded admission, replicated resilient
+// sessions, and an injected fault plan. Outputs the serving metrics block,
+// the profiler report, a chrome trace (chrome://tracing) with queue-depth
+// and batch-size counter tracks, and the canonical per-request completion
+// log CSV.
+//
+//   serve_demo --duration 60 --replicas 2 --faults 'launch:p=0.02'
+#include <cstdio>
+#include <fstream>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "graph/builder.hpp"
+#include "ios/executor.hpp"
+#include "ios/scheduler.hpp"
+#include "nas/runner.hpp"
+#include "nas/selection.hpp"
+#include "profiler/report.hpp"
+#include "profiler/trace.hpp"
+#include "serve/server.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/faults.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  CliFlags flags("serve_demo",
+                 "serve a NAS-selected model under synthetic traffic with "
+                 "SLOs and injected faults");
+  flags.add_int("trials", 8, "NAS trials for model selection");
+  flags.add_int("seed", 2023, "NAS strategy seed");
+  flags.add_int("input", 40, "input patch size");
+  flags.add_double("accuracy", 0.85, "accuracy constraint for selection");
+  flags.add_double("duration", 60.0, "trace length, virtual seconds");
+  flags.add_double("rate", 0.0, "offered req/s (0 = 2x serial capacity)");
+  flags.add_int("max-batch", 8, "dynamic batcher size bound");
+  flags.add_double("timeout-ms", 2.0, "batching timeout, milliseconds");
+  flags.add_int("queue", 64, "admission queue capacity");
+  flags.add_int("replicas", 2, "model replicas");
+  flags.add_double("deadline-ms", 50.0, "per-request SLO (0 disables)");
+  flags.add_string("faults", "launch:p=0.01",
+                   "fault plan spec (empty = fault-free)");
+  flags.add_int("fault-seed", 7, "fault injector seed");
+  flags.add_string("trace", "serve_trace.json", "chrome trace output path");
+  flags.add_string("log", "serve_log.csv", "completion log output path");
+  if (!flags.parse(argc, argv)) return 0;
+
+  // 1. NAS campaign with a cheap accuracy proxy; the runner measures real
+  //    (simulated) latency/throughput per trial.
+  nas::RunnerConfig nas_config;
+  nas_config.max_trials = static_cast<int>(flags.get_int("trials"));
+  nas_config.input_size = flags.get_int("input");
+  const nas::Evaluator evaluator = [](const detect::SppNetConfig& model) {
+    return 0.8 + 0.1 / (1.0 + 1e6 / static_cast<double>(
+                                  model.parameter_count()));
+  };
+  nas::RandomSearchStrategy strategy(
+      nas::SearchSpace{}, static_cast<std::uint64_t>(flags.get_int("seed")));
+  const nas::TrialDatabase db =
+      nas::run_multi_trial(strategy, evaluator, nas_config);
+
+  auto selected = nas::select_constrained(db, flags.get_double("accuracy"));
+  if (!selected) selected = db.best_by_accuracy();
+  if (!selected) {
+    std::printf("no NAS trial succeeded; nothing to deploy\n");
+    return 1;
+  }
+  const detect::SppNetConfig model = nas::materialize(selected->point);
+  std::printf("deploying trial %d [%s]: AP %s, %s img/s in NAS harness\n",
+              selected->index, selected->point.to_string().c_str(),
+              format_percent(selected->metrics.average_precision).c_str(),
+              format_double(selected->metrics.throughput, 0).c_str());
+
+  // 2. IOS schedule for the serving batch size.
+  const auto spec = simgpu::a5500_spec();
+  const graph::Graph g =
+      graph::build_inference_graph(model, flags.get_int("input"));
+  const int max_batch = static_cast<int>(flags.get_int("max-batch"));
+  ios::IosOptions ios_options;
+  ios_options.batch = max_batch;
+  const ios::Schedule schedule = ios::optimize_schedule(g, spec, ios_options);
+
+  simgpu::Device probe(spec);
+  const double serial_latency = ios::measure_latency(g, schedule, probe, 1);
+  double rate = flags.get_double("rate");
+  if (rate <= 0.0) rate = 2.0 / serial_latency;
+
+  // 3. Sixty seconds of bursty, diurnally modulated traffic.
+  serve::TrafficConfig traffic;
+  traffic.seed = 42;
+  traffic.duration = flags.get_double("duration");
+  traffic.rate = rate;
+  traffic.burst_factor = 1.0;
+  traffic.burst_period = 5.0;
+  traffic.burst_duty = 0.2;
+  traffic.diurnal_amplitude = 0.4;
+  traffic.diurnal_period = traffic.duration;
+  traffic.deadline = flags.get_double("deadline-ms") * 1e-3;
+  const auto trace = serve::generate_trace(traffic);
+  std::printf("trace: %zu requests over %.0fs (%.0f req/s base rate)\n\n",
+              trace.size(), traffic.duration, rate);
+
+  // 4. Serve it with replicated resilient sessions and injected faults.
+  serve::ServerConfig config;
+  config.batch.max_batch = max_batch;
+  config.batch.timeout = flags.get_double("timeout-ms") * 1e-3;
+  config.queue_capacity = static_cast<std::size_t>(flags.get_int("queue"));
+  config.replicas = static_cast<int>(flags.get_int("replicas"));
+  config.device = spec;
+  config.resilient.retry.max_attempts = 8;
+  config.resilient.retry.base_backoff = 1.0e-4;
+  config.resilient.retry.max_backoff = 1.0e-2;
+  config.resilient.retry.jitter = 0.2;
+  if (!flags.get_string("faults").empty()) {
+    config.faults = simgpu::FaultPlan::parse(
+        flags.get_string("faults"),
+        static_cast<std::uint64_t>(flags.get_int("fault-seed")));
+  }
+
+  profiler::Recorder recorder;
+  serve::Server server(g, schedule, config, &recorder);
+  const serve::ServingReport report = server.serve(trace);
+  std::printf("%s\n", report.to_string().c_str());
+  std::printf("%s\n", profiler::render_report(recorder).c_str());
+
+  profiler::write_chrome_trace(recorder, flags.get_string("trace"));
+  std::ofstream log(flags.get_string("log"));
+  log << serve::Server::log_to_csv(server.log());
+  std::printf("chrome trace written to %s (load in chrome://tracing)\n",
+              flags.get_string("trace").c_str());
+  std::printf("completion log written to %s\n",
+              flags.get_string("log").c_str());
+  return 0;
+}

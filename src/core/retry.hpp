@@ -34,6 +34,33 @@ struct RetryPolicy {
 /// min(base * multiplier^(retry-1), max_backoff) * jitter_factor(rng).
 double backoff_delay(const RetryPolicy& policy, int retry, Rng& rng);
 
+/// A policy bound to its own seeded jitter stream. Jittered delays become a
+/// pure function of (policy, seed, draw index), so callers replay backoff
+/// timing deterministically instead of sharing a wider RNG whose draw
+/// history depends on unrelated work. reseed() re-anchors the stream: the
+/// serving layer reseeds per dispatched batch, which makes a batch's
+/// recovery timing independent of which replica served the batches before
+/// it (the replica-count-invariance contract in DESIGN.md "Serving model").
+class SeededBackoff {
+ public:
+  explicit SeededBackoff(RetryPolicy policy, std::uint64_t seed = 0x5eed)
+      : policy_(policy), rng_(seed) {}
+
+  /// Delay before retry number `retry` (1-based). Draws from the owned
+  /// jitter stream only when policy().jitter > 0, so jitter-free policies
+  /// stay exact regardless of seeding.
+  double delay(int retry) { return backoff_delay(policy_, retry, rng_); }
+
+  /// Restart the jitter stream from `seed`.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+};
+
 /// Counters a retry loop accumulates (exact under jitter = 0).
 struct RetryStats {
   int attempts = 0;

@@ -54,4 +54,9 @@ class Rng {
   bool has_cached_normal_ = false;
 };
 
+/// splitmix64-finalizer seed mixing: decorrelates per-unit seeds (one per
+/// NAS trial attempt, one per served batch) derived from a base seed and a
+/// salt, so unit k's stream is independent of unit k-1's yet reproducible.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt);
+
 }  // namespace dcn

@@ -47,7 +47,10 @@ void InferenceSession::initialize() {
 
 RunResult InferenceSession::run(std::int64_t batch) {
   DCN_CHECK(initialized_) << "run before initialize";
-  DCN_CHECK(batch >= 1) << "batch " << batch;
+  if (batch < 1) {
+    throw ConfigError("InferenceSession::run: batch must be >= 1, got " +
+                      std::to_string(batch));
+  }
   const double start = device_.host_time();
 
   device_.memcpy_h2d(input_bytes_per_sample_ * batch);
@@ -120,7 +123,7 @@ ResilientSession::ResilientSession(const graph::Graph& graph,
     : session_(graph, std::move(schedule), device),
       device_(device),
       options_(options),
-      backoff_rng_(options.backoff_seed) {
+      backoff_(options.retry, options.backoff_seed) {
   device_.set_sync_timeout(options_.sync_timeout);
 }
 
@@ -137,7 +140,7 @@ void ResilientSession::recover(const std::exception& error, int retry) {
                             std::string("device reset after: ") +
                                 error.what());
   }
-  const double delay = backoff_delay(options_.retry, retry, backoff_rng_);
+  const double delay = backoff_.delay(retry);
   device_.advance_host(delay);
   stats_.backoff_seconds += delay;
   device_.record_recovery("retry", delay,
@@ -155,8 +158,7 @@ void ResilientSession::initialize() {
         device_.hard_reset();
         session_.invalidate();
         ++stats_.reinitializations;
-        const double delay =
-            backoff_delay(options_.retry, retry, backoff_rng_);
+        const double delay = backoff_.delay(retry);
         device_.advance_host(delay);
         stats_.backoff_seconds += delay;
         device_.record_recovery("retry", delay,

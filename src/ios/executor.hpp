@@ -36,7 +36,8 @@ class InferenceSession {
   /// streams the widest stage needs. Idempotent.
   void initialize();
 
-  /// One inference at `batch`. Requires initialize().
+  /// One inference at `batch`. Requires initialize(). Throws ConfigError
+  /// for batch < 1 (a degenerate stage must never be priced silently).
   RunResult run(std::int64_t batch);
 
   /// Forget initialization state (after a device hard_reset dropped the
@@ -108,6 +109,11 @@ class ResilientSession {
   RunResult run(std::int64_t batch);
   std::optional<RunResult> try_run(std::int64_t batch);
 
+  /// Re-anchor the backoff jitter stream (no-op for jitter = 0 policies).
+  /// The serving layer reseeds per dispatched batch so recovery timing is a
+  /// pure function of the batch index, independent of replica history.
+  void reseed_backoff(std::uint64_t seed) { backoff_.reseed(seed); }
+
   const SessionStats& stats() const { return stats_; }
   const ResilientOptions& options() const { return options_; }
 
@@ -117,7 +123,7 @@ class ResilientSession {
   InferenceSession session_;
   simgpu::Device& device_;
   ResilientOptions options_;
-  Rng backoff_rng_;
+  SeededBackoff backoff_;
   SessionStats stats_;
 };
 

@@ -17,15 +17,6 @@ namespace dcn::nas {
 
 namespace {
 
-// splitmix64 finalizer: decorrelates per-trial injector seeds so trial k's
-// fault schedule is independent of trial k-1's, yet reproducible.
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
-  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (salt + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-
 double measure(const graph::Graph& g, const ios::Schedule& schedule,
                const RunnerConfig& config, std::uint64_t fault_salt) {
   simgpu::Device device(config.device);

@@ -76,4 +76,14 @@ struct FaultSpan : Span {
   std::string detail;
 };
 
+/// A sampled counter value at an instant on the virtual timeline (serving
+/// queue depth, dispatched batch size). Unlike the process-global counters
+/// in counters.hpp, samples carry a timestamp, so the chrome trace renders
+/// them as counter tracks evolving over the run.
+struct CounterSample {
+  double time = 0.0;
+  std::string name;
+  std::int64_t value = 0;
+};
+
 }  // namespace dcn::profiler

@@ -107,11 +107,22 @@ void Recorder::record_fault(std::string name, double start, double duration,
   fault_spans_.push_back(std::move(span));
 }
 
+void Recorder::record_counter_sample(std::string name, double time,
+                                     std::int64_t value) {
+  if (!enabled_) return;
+  CounterSample sample;
+  sample.name = std::move(name);
+  sample.time = time;
+  sample.value = value;
+  counter_samples_.push_back(std::move(sample));
+}
+
 void Recorder::clear() {
   api_spans_.clear();
   kernel_spans_.clear();
   memop_spans_.clear();
   fault_spans_.clear();
+  counter_samples_.clear();
 }
 
 }  // namespace dcn::profiler

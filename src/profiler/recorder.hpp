@@ -20,6 +20,8 @@ class Recorder {
                     double duration, std::int64_t bytes);
   void record_fault(std::string name, double start, double duration,
                     std::string detail);
+  void record_counter_sample(std::string name, double time,
+                             std::int64_t value);
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
@@ -32,6 +34,9 @@ class Recorder {
   }
   const std::vector<MemopSpan>& memop_spans() const { return memop_spans_; }
   const std::vector<FaultSpan>& fault_spans() const { return fault_spans_; }
+  const std::vector<CounterSample>& counter_samples() const {
+    return counter_samples_;
+  }
 
  private:
   bool enabled_ = true;
@@ -39,6 +44,7 @@ class Recorder {
   std::vector<KernelSpan> kernel_spans_;
   std::vector<MemopSpan> memop_spans_;
   std::vector<FaultSpan> fault_spans_;
+  std::vector<CounterSample> counter_samples_;
 };
 
 }  // namespace dcn::profiler

@@ -145,6 +145,32 @@ std::string render_report(const Recorder& recorder) {
     os << fault_table.to_string();
   }
 
+  // Sampled counter tracks (serving queue depth, batch sizes): summarized
+  // here; the chrome trace carries the full time series.
+  if (!recorder.counter_samples().empty()) {
+    std::map<std::string, std::vector<std::int64_t>> by_name;
+    for (const CounterSample& sample : recorder.counter_samples()) {
+      by_name[sample.name].push_back(sample.value);
+    }
+    os << "\nSampled Counters:\n";
+    TextTable sample_table({"Counter", "Samples", "Min", "Max", "Mean"});
+    for (const auto& [name, values] : by_name) {
+      std::int64_t lo = values.front(), hi = values.front(), sum = 0;
+      for (std::int64_t v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        sum += v;
+      }
+      sample_table.add_row(
+          {name, std::to_string(values.size()), std::to_string(lo),
+           std::to_string(hi),
+           format_double(static_cast<double>(sum) /
+                             static_cast<double>(values.size()),
+                         2)});
+    }
+    os << sample_table.to_string();
+  }
+
   // Process-wide counters (schedule-cache hits/misses and friends): not an
   // nsys view, but campaign-level reports need the amortization numbers
   // next to the timing they explain.

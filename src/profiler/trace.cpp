@@ -70,6 +70,16 @@ std::string to_chrome_trace(const Recorder& recorder) {
     emit_event(os, first, span.name, "fault", 3, span.start, span.duration,
                "{\"detail\": \"" + json_escape(span.detail) + "\"}");
   }
+  // Timestamped counter samples (serving queue depth, batch sizes) as
+  // Chrome counter ("C") tracks that evolve over the run.
+  for (const CounterSample& sample : recorder.counter_samples()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << json_escape(sample.name)
+       << "\", \"cat\": \"counter\", \"ph\": \"C\", \"pid\": 1, \"ts\": "
+       << sample.time * 1e6 << ", \"args\": {\"value\": " << sample.value
+       << "}}";
+  }
   // Global counters as Chrome counter ("C") events so cache hit/miss totals
   // render as tracks alongside the timeline.
   for (const auto& [name, value] : counter_snapshot()) {

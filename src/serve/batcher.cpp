@@ -1,0 +1,63 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace dcn::serve {
+
+const char* flush_trigger_name(FlushTrigger trigger) {
+  switch (trigger) {
+    case FlushTrigger::kSize:
+      return "size";
+    case FlushTrigger::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+DynamicBatcher::DynamicBatcher(BatchPolicy policy, std::size_t queue_capacity)
+    : policy_(policy), queue_(queue_capacity) {
+  if (policy.max_batch < 1) {
+    throw ConfigError("DynamicBatcher: max_batch must be >= 1, got " +
+                      std::to_string(policy.max_batch));
+  }
+  if (policy.timeout < 0.0) {
+    throw ConfigError("DynamicBatcher: timeout must be >= 0, got " +
+                      std::to_string(policy.timeout));
+  }
+  if (queue_capacity < static_cast<std::size_t>(policy.max_batch)) {
+    throw ConfigError(
+        "DynamicBatcher: queue capacity " + std::to_string(queue_capacity) +
+        " cannot hold one max_batch of " + std::to_string(policy.max_batch));
+  }
+}
+
+std::optional<double> DynamicBatcher::next_flush_time(
+    double replica_free) const {
+  if (queue_.empty()) return std::nullopt;
+  if (queue_.size() >= static_cast<std::size_t>(policy_.max_batch)) {
+    return replica_free;
+  }
+  return std::max(queue_.front().arrival + policy_.timeout, replica_free);
+}
+
+Batch DynamicBatcher::flush(double now) {
+  DCN_CHECK(!queue_.empty()) << "flush on empty batcher";
+  Batch batch;
+  batch.index = next_index_++;
+  batch.cut_time = now;
+  batch.trigger = queue_.size() >= static_cast<std::size_t>(policy_.max_batch)
+                      ? FlushTrigger::kSize
+                      : FlushTrigger::kTimeout;
+  if (batch.trigger == FlushTrigger::kSize) {
+    ++size_flushes_;
+  } else {
+    ++timeout_flushes_;
+  }
+  batch.requests = queue_.pop(static_cast<std::size_t>(policy_.max_batch));
+  return batch;
+}
+
+}  // namespace dcn::serve

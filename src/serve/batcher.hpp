@@ -1,0 +1,80 @@
+// Dynamic batching over the admission queue.
+//
+// Clipper/Triton-style policy with two flush triggers:
+//  - size: as soon as max_batch requests are pending, a batch is ready; it
+//    is cut the moment the next replica is free.
+//  - timeout: a partial batch is cut once the oldest pending request has
+//    waited `timeout` seconds (or when the replica frees up, if later), so
+//    light traffic is never parked indefinitely waiting for a full batch.
+//
+// The batcher itself is a pure state machine over (arrival events, replica
+// free times): given the same inputs it cuts the same batches at the same
+// virtual instants, which is what the serving determinism contract rests
+// on. max_batch = 1 with any timeout degenerates to serial (eager) serving
+// — the baseline `bench_serving` compares against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serve/queue.hpp"
+
+namespace dcn::serve {
+
+struct BatchPolicy {
+  /// Largest batch one replica inference may carry.
+  int max_batch = 8;
+  /// Seconds a partial batch may age (from its oldest request's arrival)
+  /// before it is flushed anyway. 0 flushes immediately on arrival.
+  double timeout = 2.0e-3;
+};
+
+enum class FlushTrigger { kSize, kTimeout };
+
+const char* flush_trigger_name(FlushTrigger trigger);
+
+/// One cut batch, ready for dispatch.
+struct Batch {
+  std::int64_t index = 0;
+  double cut_time = 0.0;
+  FlushTrigger trigger = FlushTrigger::kTimeout;
+  std::vector<Request> requests;
+};
+
+class DynamicBatcher {
+ public:
+  /// Throws ConfigError for max_batch < 1, timeout < 0, or
+  /// queue_capacity < max_batch (a full batch must fit in the queue).
+  DynamicBatcher(BatchPolicy policy, std::size_t queue_capacity);
+
+  /// Admit one arriving request (reject-on-full; see BoundedQueue::offer).
+  bool offer(const Request& request) { return queue_.offer(request); }
+
+  /// Earliest virtual instant a batch can be cut, given the next replica in
+  /// line is free at `replica_free` (callers clamp to the current time):
+  /// a full batch is ready at `replica_free`; a partial one at
+  /// max(oldest arrival + timeout, replica_free). nullopt when nothing is
+  /// pending.
+  std::optional<double> next_flush_time(double replica_free) const;
+
+  /// Cut up to max_batch pending requests at virtual time `now`. Requires a
+  /// non-empty queue; the trigger records whether size or timeout fired.
+  Batch flush(double now);
+
+  const BoundedQueue& queue() const { return queue_; }
+  const BatchPolicy& policy() const { return policy_; }
+
+  std::int64_t batches() const { return next_index_; }
+  std::int64_t size_flushes() const { return size_flushes_; }
+  std::int64_t timeout_flushes() const { return timeout_flushes_; }
+
+ private:
+  BatchPolicy policy_;
+  BoundedQueue queue_;
+  std::int64_t next_index_ = 0;
+  std::int64_t size_flushes_ = 0;
+  std::int64_t timeout_flushes_ = 0;
+};
+
+}  // namespace dcn::serve

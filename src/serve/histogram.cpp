@@ -1,0 +1,68 @@
+#include "serve/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace dcn::serve {
+
+LatencyHistogram::LatencyHistogram(double resolution)
+    : resolution_(resolution) {
+  if (resolution <= 0.0) {
+    throw ConfigError("LatencyHistogram: resolution must be > 0, got " +
+                      std::to_string(resolution));
+  }
+}
+
+std::size_t LatencyHistogram::bucket_index(double seconds) const {
+  if (seconds <= resolution_) return 0;
+  const double octaves = std::log2(seconds / resolution_);
+  const auto index = static_cast<std::int64_t>(
+      std::floor(octaves * kSubBucketsPerOctave)) + 1;
+  return static_cast<std::size_t>(std::max<std::int64_t>(index, 0));
+}
+
+double LatencyHistogram::bucket_mid(std::size_t index) const {
+  if (index == 0) return resolution_;
+  const double octaves =
+      (static_cast<double>(index - 1) + 0.5) / kSubBucketsPerOctave;
+  return resolution_ * std::exp2(octaves);
+}
+
+void LatencyHistogram::add(double seconds) {
+  seconds = std::max(seconds, 0.0);
+  const std::size_t index = bucket_index(seconds);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  ++buckets_[index];
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  DCN_CHECK(q >= 0.0 && q <= 1.0) << "quantile " << q;
+  if (count_ == 0) return 0.0;
+  // Rank of the target sample (nearest-rank on [0, count-1]). The extreme
+  // ranks are exact: the histogram tracks min/max outside the buckets.
+  const auto rank = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(count_ - 1)));
+  if (rank <= 0) return min_;
+  if (rank >= count_ - 1) return max_;
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      return std::clamp(bucket_mid(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace dcn::serve

@@ -1,0 +1,40 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace dcn::serve {
+
+BoundedQueue::BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity < 1) {
+    throw ConfigError("BoundedQueue: capacity must be >= 1, got " +
+                      std::to_string(capacity));
+  }
+}
+
+bool BoundedQueue::offer(const Request& request) {
+  if (queue_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  queue_.push_back(request);
+  ++admitted_;
+  return true;
+}
+
+std::vector<Request> BoundedQueue::pop(std::size_t max_count) {
+  const std::size_t n = std::min(max_count, queue_.size());
+  std::vector<Request> out(queue_.begin(),
+                           queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+const Request& BoundedQueue::front() const {
+  DCN_CHECK(!queue_.empty()) << "front() on empty queue";
+  return queue_.front();
+}
+
+}  // namespace dcn::serve

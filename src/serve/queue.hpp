@@ -1,0 +1,47 @@
+// Bounded FIFO admission queue.
+//
+// The server's only back-pressure mechanism: when the queue is full, the
+// arriving request is rejected immediately (load shedding at admission, the
+// Clipper/Triton policy) rather than queued into unbounded latency. The
+// queue holds admitted-but-not-yet-batched requests; the dynamic batcher
+// drains it in arrival order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/traffic.hpp"
+
+namespace dcn::serve {
+
+class BoundedQueue {
+ public:
+  /// Throws ConfigError for capacity < 1.
+  explicit BoundedQueue(std::size_t capacity);
+
+  /// Admit `request` unless the queue is full. A full queue counts a
+  /// rejection and returns false; the caller owns the rejected request's
+  /// bookkeeping.
+  bool offer(const Request& request);
+
+  /// Pop up to `max_count` requests in arrival order.
+  std::vector<Request> pop(std::size_t max_count);
+
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Oldest admitted request (requires !empty()).
+  const Request& front() const;
+
+  std::int64_t admitted() const { return admitted_; }
+  std::int64_t rejected() const { return rejected_; }
+
+ private:
+  std::deque<Request> queue_;
+  std::size_t capacity_;
+  std::int64_t admitted_ = 0;
+  std::int64_t rejected_ = 0;
+};
+
+}  // namespace dcn::serve

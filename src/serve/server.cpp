@@ -1,0 +1,308 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+#include "profiler/counters.hpp"
+#include "simgpu/device.hpp"
+
+namespace dcn::serve {
+
+const char* request_status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kCompleted:
+      return "completed";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kExpired:
+      return "expired";
+    case RequestStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+struct Server::Replica {
+  std::unique_ptr<simgpu::Device> device;
+  std::unique_ptr<ios::ResilientSession> session;
+  double free_at = 0.0;
+};
+
+Server::Server(const graph::Graph& graph, ios::Schedule schedule,
+               ServerConfig config, profiler::Recorder* recorder)
+    : graph_(graph),
+      schedule_(std::move(schedule)),
+      config_(std::move(config)),
+      recorder_(recorder) {
+  if (config_.replicas < 1) {
+    throw ConfigError("Server: replicas must be >= 1, got " +
+                      std::to_string(config_.replicas));
+  }
+  replicas_.reserve(static_cast<std::size_t>(config_.replicas));
+  for (int r = 0; r < config_.replicas; ++r) {
+    auto replica = std::make_unique<Replica>();
+    replica->device =
+        std::make_unique<simgpu::Device>(config_.device, recorder_);
+    replica->session = std::make_unique<ios::ResilientSession>(
+        graph_, schedule_, *replica->device, config_.resilient);
+    replica->session->initialize();
+    replica->free_at = replica->device->host_time();
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+Server::~Server() = default;
+
+ServingReport Server::serve(const std::vector<Request>& trace) {
+  DCN_CHECK(!served_) << "serve() is single-shot; construct a fresh Server";
+  served_ = true;
+
+  DynamicBatcher batcher(config_.batch, config_.queue_capacity);
+  ServingReport report;
+  report.offered = static_cast<std::int64_t>(trace.size());
+
+  const double inf = std::numeric_limits<double>::infinity();
+  std::size_t next_arrival = 0;
+  int rr = 0;  // round-robin dispatch pointer
+  double now = 0.0;
+  std::int64_t dispatched_batches = 0;
+  std::int64_t served_requests = 0;
+
+  const auto sample_depth = [&](double t) {
+    const auto depth = static_cast<std::int64_t>(batcher.queue().size());
+    report.max_queue_depth = std::max(report.max_queue_depth, depth);
+    if (recorder_ != nullptr) {
+      recorder_->record_counter_sample("serve.queue_depth", t, depth);
+    }
+  };
+
+  while (true) {
+    const double t_arrival =
+        next_arrival < trace.size() ? trace[next_arrival].arrival : inf;
+    Replica& next_replica = *replicas_[static_cast<std::size_t>(rr)];
+    const auto flush_at =
+        batcher.next_flush_time(std::max(next_replica.free_at, now));
+    const double t_cut = flush_at ? *flush_at : inf;
+    if (t_arrival == inf && !flush_at) break;
+
+    // Arrivals win ties so a request landing exactly at the cut instant can
+    // still join the batch (the cut is re-evaluated immediately after).
+    if (t_arrival <= t_cut) {
+      now = t_arrival;
+      const Request& request = trace[next_arrival++];
+      if (!batcher.offer(request)) {
+        CompletionRecord record;
+        record.id = request.id;
+        record.status = RequestStatus::kRejected;
+        record.arrival = request.arrival;
+        record.completion = now;
+        record.deadline = request.deadline;
+        log_.push_back(record);
+      }
+      sample_depth(now);
+      continue;
+    }
+
+    now = t_cut;
+    Batch batch = batcher.flush(now);
+    sample_depth(now);
+
+    // Deadline admission, second chance: drop admitted requests whose SLO
+    // already expired while queued — serving them would burn replica time on
+    // answers the client has abandoned.
+    std::vector<Request> live;
+    live.reserve(batch.requests.size());
+    for (const Request& request : batch.requests) {
+      if (request.deadline < now) {
+        CompletionRecord record;
+        record.id = request.id;
+        record.status = RequestStatus::kExpired;
+        record.arrival = request.arrival;
+        record.batch = batch.index;
+        record.completion = now;
+        record.deadline = request.deadline;
+        log_.push_back(record);
+      } else {
+        live.push_back(request);
+      }
+    }
+    if (live.empty()) continue;
+
+    const int replica_index = rr;
+    Replica& replica = *replicas_[static_cast<std::size_t>(replica_index)];
+    rr = (rr + 1) % config_.replicas;
+    const auto batch_size = static_cast<std::int64_t>(live.size());
+
+    // Per-batch salts: the fault schedule and the backoff jitter stream
+    // become pure functions of the batch index, so batch k behaves
+    // identically no matter which replica runs it or what earlier batches
+    // suffered (the replica-count-invariance contract).
+    if (!config_.faults.empty()) {
+      simgpu::FaultPlan plan = config_.faults;
+      plan.seed = mix_seed(plan.seed, static_cast<std::uint64_t>(batch.index));
+      replica.device->set_fault_plan(plan);
+    }
+    replica.session->reseed_backoff(
+        mix_seed(config_.resilient.backoff_seed,
+                 static_cast<std::uint64_t>(batch.index)));
+
+    // Sync the replica's private timeline to the global cut instant, then
+    // run; the host-clock delta is the service time, recovery included.
+    replica.device->advance_host(now - replica.device->host_time());
+    const auto result = replica.session->try_run(batch_size);
+    const double end = replica.device->host_time();
+    replica.free_at = end;
+    ++dispatched_batches;
+    served_requests += batch_size;
+    if (recorder_ != nullptr) {
+      recorder_->record_counter_sample("serve.batch_size", now, batch_size);
+    }
+
+    for (const Request& request : live) {
+      CompletionRecord record;
+      record.id = request.id;
+      record.status =
+          result ? RequestStatus::kCompleted : RequestStatus::kFailed;
+      record.arrival = request.arrival;
+      record.batch = batch.index;
+      record.batch_size = static_cast<int>(batch_size);
+      record.replica = replica_index;
+      record.dispatch = now;
+      record.service = end - now;
+      record.completion = end;
+      record.deadline = request.deadline;
+      record.deadline_met = result.has_value() && end <= request.deadline;
+      log_.push_back(record);
+    }
+  }
+
+  std::sort(log_.begin(), log_.end(),
+            [](const CompletionRecord& a, const CompletionRecord& b) {
+              return a.id < b.id;
+            });
+
+  for (const CompletionRecord& record : log_) {
+    switch (record.status) {
+      case RequestStatus::kCompleted:
+        ++report.completed;
+        report.latency.add(record.completion - record.arrival);
+        report.makespan = std::max(report.makespan, record.completion);
+        break;
+      case RequestStatus::kRejected:
+        break;  // counted via the queue below
+      case RequestStatus::kExpired:
+        ++report.expired;
+        break;
+      case RequestStatus::kFailed:
+        ++report.failed;
+        break;
+    }
+    if (std::isfinite(record.deadline)) {
+      ++report.slo_tracked;
+      if (record.deadline_met) ++report.slo_met;
+    }
+  }
+  report.admitted = batcher.queue().admitted();
+  report.rejected = batcher.queue().rejected();
+  report.batches = batcher.batches();
+  report.size_flushes = batcher.size_flushes();
+  report.timeout_flushes = batcher.timeout_flushes();
+  report.mean_batch_size =
+      dispatched_batches == 0 ? 0.0
+                              : static_cast<double>(served_requests) /
+                                    static_cast<double>(dispatched_batches);
+  report.p50 = report.latency.quantile(0.50);
+  report.p95 = report.latency.quantile(0.95);
+  report.p99 = report.latency.quantile(0.99);
+  if (report.makespan > 0.0) {
+    report.throughput =
+        static_cast<double>(report.completed) / report.makespan;
+  }
+  for (const auto& replica : replicas_) {
+    report.transient_retries += replica->session->stats().transient_retries;
+    report.reinitializations += replica->session->stats().reinitializations;
+  }
+
+  profiler::counter_add("serve.offered", report.offered);
+  profiler::counter_add("serve.admitted", report.admitted);
+  profiler::counter_add("serve.rejected", report.rejected);
+  profiler::counter_add("serve.batches", report.batches);
+  profiler::counter_add("serve.slo_miss", report.slo_tracked - report.slo_met);
+  return report;
+}
+
+std::string ServingReport::to_string() const {
+  std::ostringstream os;
+  os << "Serving Statistics:\n";
+  TextTable requests({"Requests", "Count", "Share"});
+  requests.add_row({"offered", std::to_string(offered), "-"});
+  requests.add_row({"completed", std::to_string(completed),
+                    offered == 0 ? "-"
+                                 : format_percent(static_cast<double>(
+                                                      completed) /
+                                                  static_cast<double>(
+                                                      offered))});
+  requests.add_row({"rejected", std::to_string(rejected),
+                    format_percent(reject_rate())});
+  requests.add_row({"expired", std::to_string(expired), "-"});
+  requests.add_row({"failed", std::to_string(failed), "-"});
+  os << requests.to_string() << '\n';
+
+  TextTable batching({"Batching", "Value"});
+  batching.add_row({"batches", std::to_string(batches)});
+  batching.add_row({"size-triggered", std::to_string(size_flushes)});
+  batching.add_row({"timeout-triggered", std::to_string(timeout_flushes)});
+  batching.add_row({"mean batch size", format_double(mean_batch_size, 2)});
+  batching.add_row({"max queue depth", std::to_string(max_queue_depth)});
+  os << batching.to_string() << '\n';
+
+  TextTable latency_table({"Latency", "Value"});
+  latency_table.add_row({"p50", format_ms(p50 * 1e3)});
+  latency_table.add_row({"p95", format_ms(p95 * 1e3)});
+  latency_table.add_row({"p99", format_ms(p99 * 1e3)});
+  latency_table.add_row({"mean", format_ms(latency.mean() * 1e3)});
+  latency_table.add_row({"max", format_ms(latency.max() * 1e3)});
+  latency_table.add_row(
+      {"throughput", format_double(throughput, 1) + " req/s"});
+  os << latency_table.to_string();
+
+  if (slo_tracked > 0) {
+    os << "\nSLO: " << slo_met << "/" << slo_tracked << " within deadline ("
+       << format_percent(slo_attainment()) << ")\n";
+  }
+  if (transient_retries > 0 || reinitializations > 0) {
+    os << "Recovery: " << transient_retries << " transient retrie(s), "
+       << reinitializations << " device reinitialization(s)\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+std::int64_t to_ns(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e9));
+}
+
+}  // namespace
+
+std::string Server::log_to_csv(const std::vector<CompletionRecord>& log) {
+  std::ostringstream os;
+  os << "id,status,arrival_ns,batch,batch_size,dispatch_ns,service_ns,"
+        "completion_ns,latency_ns,deadline_ns,deadline_met\n";
+  for (const CompletionRecord& record : log) {
+    os << record.id << ',' << request_status_name(record.status) << ','
+       << to_ns(record.arrival) << ',' << record.batch << ','
+       << record.batch_size << ',' << to_ns(record.dispatch) << ','
+       << to_ns(record.service) << ',' << to_ns(record.completion) << ','
+       << to_ns(record.completion - record.arrival) << ','
+       << (std::isfinite(record.deadline) ? to_ns(record.deadline) : -1)
+       << ',' << (record.deadline_met ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dcn::serve

@@ -1,0 +1,172 @@
+// SLO-aware dynamic-batching inference server on the virtual clock.
+//
+// A discrete-event simulation of a deployed serving stack: an open-loop
+// arrival trace feeds a bounded admission queue; the dynamic batcher cuts
+// batches (size- or timeout-triggered); batches dispatch round-robin to N
+// model replicas, each owning its own simgpu::Device + ios::ResilientSession
+// so injected faults are absorbed by retry/device-reset recovery without
+// losing accepted requests. Every request ends in exactly one
+// CompletionRecord (completed, rejected at admission, expired in queue, or
+// failed after the retry budget), and the report aggregates tail latency
+// (streaming histogram p50/p95/p99), throughput, reject rate, and SLO
+// attainment.
+//
+// Determinism contract (DESIGN.md "Serving model"): the whole simulation is
+// a pure function of (graph, schedule, config, trace). Per-batch salts
+// reseed both the fault injector and the backoff jitter stream from the
+// batch *index*, so a batch's service time — including recovery — does not
+// depend on which replica runs it or on earlier batches' faults. The
+// completion log therefore reproduces byte-for-byte from a fixed seed, and
+// stays byte-identical across replica counts whenever no batch has to wait
+// for a busy replica (the light-load regime the acceptance tests pin).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ios/executor.hpp"
+#include "profiler/recorder.hpp"
+#include "serve/batcher.hpp"
+#include "serve/histogram.hpp"
+#include "serve/traffic.hpp"
+#include "simgpu/faults.hpp"
+#include "simgpu/spec.hpp"
+
+namespace dcn::serve {
+
+enum class RequestStatus {
+  kCompleted,  // served; latency and deadline_met are meaningful
+  kRejected,   // shed at admission (queue full)
+  kExpired,    // admitted, but its deadline passed before dispatch
+  kFailed,     // its batch exhausted the retry budget on a fatal fault
+};
+
+const char* request_status_name(RequestStatus status);
+
+/// Final outcome of one request. `replica` is deliberately absent from the
+/// CSV rendering: which replica served a batch is a scheduling detail, and
+/// excluding it keeps the canonical log invariant across replica counts.
+struct CompletionRecord {
+  std::int64_t id = 0;
+  RequestStatus status = RequestStatus::kCompleted;
+  double arrival = 0.0;
+  /// Batch this request was cut into (-1 when rejected at admission).
+  std::int64_t batch = -1;
+  /// Served requests in that batch (0 when never dispatched).
+  int batch_size = 0;
+  /// Replica that ran the batch (-1 when never dispatched).
+  int replica = -1;
+  /// Batch cut instant (= service start; 0 when never dispatched).
+  double dispatch = 0.0;
+  /// Device time the batch took, retries and backoff included.
+  double service = 0.0;
+  /// Instant the request left the system (rejection/expiry instant for
+  /// non-served requests).
+  double completion = 0.0;
+  double deadline = std::numeric_limits<double>::infinity();
+  bool deadline_met = false;
+};
+
+/// Aggregate serving metrics for one trace.
+struct ServingReport {
+  std::int64_t offered = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t expired = 0;
+  std::int64_t failed = 0;
+  std::int64_t completed = 0;
+
+  std::int64_t batches = 0;
+  std::int64_t size_flushes = 0;
+  std::int64_t timeout_flushes = 0;
+  double mean_batch_size = 0.0;
+  std::int64_t max_queue_depth = 0;
+
+  /// Requests carrying a finite deadline, and how many completed within it.
+  std::int64_t slo_tracked = 0;
+  std::int64_t slo_met = 0;
+
+  /// End-to-end (arrival -> completion) latency of completed requests.
+  LatencyHistogram latency;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  /// Last completion instant, and completed / makespan.
+  double makespan = 0.0;
+  double throughput = 0.0;
+
+  /// Recovery work summed over replicas.
+  int transient_retries = 0;
+  int reinitializations = 0;
+
+  double reject_rate() const {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(rejected) /
+                              static_cast<double>(offered);
+  }
+  double slo_attainment() const {
+    return slo_tracked == 0 ? 1.0
+                            : static_cast<double>(slo_met) /
+                                  static_cast<double>(slo_tracked);
+  }
+
+  /// Human-readable metrics block (the serving analog of render_report).
+  std::string to_string() const;
+};
+
+struct ServerConfig {
+  BatchPolicy batch;
+  /// Admission-queue bound (reject-on-full).
+  std::size_t queue_capacity = 64;
+  /// Model replicas, each with a private device + resilient session.
+  int replicas = 1;
+  simgpu::DeviceSpec device;
+  ios::ResilientOptions resilient;
+  /// Base fault plan; re-armed before every dispatched batch with a seed
+  /// mixed from (plan.seed, batch index). Empty = fault-free serving.
+  simgpu::FaultPlan faults;
+};
+
+class Server {
+ public:
+  /// `graph` must outlive the server. Replicas are constructed and
+  /// initialized here (library load + weight upload on each private
+  /// device), so serve() starts from a warm fleet. Throws ConfigError for
+  /// replicas < 1.
+  Server(const graph::Graph& graph, ios::Schedule schedule,
+         ServerConfig config, profiler::Recorder* recorder = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Run the trace through the server. `trace` must be arrival-sorted with
+  /// strictly increasing ids (generate_trace output qualifies). Callable
+  /// once per Server: replica clocks carry serving history.
+  ServingReport serve(const std::vector<Request>& trace);
+
+  /// Per-request completion log, sorted by request id (valid after
+  /// serve()).
+  const std::vector<CompletionRecord>& log() const { return log_; }
+
+  /// Canonical byte-stable CSV rendering of a completion log: integral
+  /// nanosecond timestamps, no replica column (see CompletionRecord).
+  static std::string log_to_csv(const std::vector<CompletionRecord>& log);
+
+ private:
+  struct Replica;
+
+  const graph::Graph& graph_;
+  ios::Schedule schedule_;
+  ServerConfig config_;
+  profiler::Recorder* recorder_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<CompletionRecord> log_;
+  bool served_ = false;
+};
+
+}  // namespace dcn::serve

@@ -1,0 +1,103 @@
+#include "serve/traffic.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace dcn::serve {
+
+namespace {
+
+void validate(const TrafficConfig& config) {
+  if (config.rate <= 0.0) {
+    throw ConfigError("traffic: rate must be > 0, got " +
+                      std::to_string(config.rate));
+  }
+  if (config.duration <= 0.0) {
+    throw ConfigError("traffic: duration must be > 0, got " +
+                      std::to_string(config.duration));
+  }
+  if (config.burst_factor < 0.0) {
+    throw ConfigError("traffic: burst_factor must be >= 0, got " +
+                      std::to_string(config.burst_factor));
+  }
+  if (config.burst_period <= 0.0) {
+    throw ConfigError("traffic: burst_period must be > 0, got " +
+                      std::to_string(config.burst_period));
+  }
+  if (config.burst_duty <= 0.0 || config.burst_duty > 1.0) {
+    throw ConfigError("traffic: burst_duty must be in (0, 1], got " +
+                      std::to_string(config.burst_duty));
+  }
+  if (config.diurnal_amplitude < 0.0 || config.diurnal_amplitude >= 1.0) {
+    throw ConfigError("traffic: diurnal_amplitude must be in [0, 1), got " +
+                      std::to_string(config.diurnal_amplitude));
+  }
+  if (config.diurnal_period <= 0.0) {
+    throw ConfigError("traffic: diurnal_period must be > 0, got " +
+                      std::to_string(config.diurnal_period));
+  }
+  if (config.deadline < 0.0) {
+    throw ConfigError("traffic: deadline must be >= 0, got " +
+                      std::to_string(config.deadline));
+  }
+}
+
+}  // namespace
+
+double instantaneous_rate(const TrafficConfig& config, double t) {
+  double rate = config.rate;
+  if (config.diurnal_amplitude > 0.0) {
+    rate *= 1.0 + config.diurnal_amplitude *
+                      std::sin(2.0 * M_PI * t / config.diurnal_period);
+  }
+  if (config.burst_factor > 0.0) {
+    const double phase =
+        t - config.burst_period * std::floor(t / config.burst_period);
+    if (phase < config.burst_duty * config.burst_period) {
+      rate *= 1.0 + config.burst_factor;
+    }
+  }
+  return rate;
+}
+
+double peak_rate(const TrafficConfig& config) {
+  return config.rate * (1.0 + config.diurnal_amplitude) *
+         (1.0 + config.burst_factor);
+}
+
+std::vector<Request> generate_trace(const TrafficConfig& config) {
+  validate(config);
+  const double envelope = peak_rate(config);
+  Rng rng(config.seed);
+  std::vector<Request> trace;
+  trace.reserve(static_cast<std::size_t>(config.rate * config.duration) + 16);
+  double t = 0.0;
+  std::int64_t id = 0;
+  while (true) {
+    // Candidate inter-arrival from the homogeneous envelope process.
+    double u;
+    do {
+      u = rng.uniform();
+    } while (u <= 0.0);
+    t += -std::log(u) / envelope;
+    if (t >= config.duration) break;
+    // Thinning: keep with probability rate(t) / envelope. The acceptance
+    // draw happens for every candidate, so the kept set is a pure function
+    // of (seed, rate profile).
+    if (rng.uniform() >= instantaneous_rate(config, t) / envelope) continue;
+    Request request;
+    request.id = id++;
+    request.arrival = t;
+    request.deadline = config.deadline > 0.0
+                           ? t + config.deadline
+                           : std::numeric_limits<double>::infinity();
+    trace.push_back(request);
+  }
+  return trace;
+}
+
+}  // namespace dcn::serve
