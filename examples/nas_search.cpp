@@ -16,6 +16,7 @@
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/table.hpp"
+#include "detect/quantized_sppnet.hpp"
 #include "detect/trainer.hpp"
 #include "geo/dataset.hpp"
 #include "nas/experiment.hpp"
@@ -47,6 +48,11 @@ int main(int argc, char** argv) {
   flags.add_int("jobs", 1,
                 "worker threads evaluating trials concurrently (random/grid "
                 "stay byte-identical to --jobs 1)");
+  flags.add_bool("int8", false,
+                 "expand selection over {fp32, int8} deployments "
+                 "(post-training quantization)");
+  flags.add_string("selection-csv", "nas_selection.csv",
+                   "precision-selection export path (with --int8)");
   if (!flags.parse(argc, argv)) return 0;
 
   // Shared dataset across trials (as the paper trains every candidate on
@@ -136,6 +142,59 @@ int main(int argc, char** argv) {
     std::printf("\nno trial satisfies AP > %.2f — rerun with more trials or "
                 "epochs, or lower --threshold\n",
                 threshold);
+  }
+
+  if (flags.get_bool("int8")) {
+    // Expand every successful trial into {fp32, int8} deployment options:
+    // re-profile the graph with int8 kernel descriptors (and an int8-aware
+    // IOS schedule), re-train the float model with the evaluator's seed,
+    // quantize it on a seeded calibration split, and re-score AP.
+    nas::RunnerConfig int8_config = runner_config;
+    int8_config.precision = simgpu::Precision::kInt8;
+    int8_config.verbose = false;
+    const nas::QuantizeEvaluator quantize = [&](const nas::Trial& trial) {
+      const detect::SppNetConfig model_config = nas::materialize(trial.point);
+      nas::TrialMetrics metrics = nas::profile_architecture(
+          model_config, int8_config, trial.index, 1);
+      Rng rng(seed + 7);  // reproduces the evaluator's trained weights
+      detect::SppNet model(model_config, rng);
+      detect::TrainConfig train_config;
+      train_config.epochs = epochs;
+      train_config.verbose = false;
+      (void)detect::train_detector(model, dataset, split, train_config);
+      std::vector<std::size_t> calibration;
+      for (const std::int64_t i : detect::calibration_split(
+               static_cast<std::int64_t>(split.train.size()), 8, seed)) {
+        calibration.push_back(split.train[static_cast<std::size_t>(i)]);
+      }
+      detect::QuantizedSppNet quantized(
+          model, dataset.make_batch(calibration).images);
+      metrics.average_precision =
+          detect::evaluate_detector(quantized, dataset, split.test)
+              .average_precision;
+      return metrics;
+    };
+    const auto candidates = nas::expand_precisions(db, quantize);
+    const auto chosen = nas::select_constrained_precision(candidates,
+                                                          threshold);
+    if (chosen) {
+      std::printf(
+          "\nprecision-expanded selection (AP > %.2f): trial %d [%s] @ %s\n"
+          "  AP %s, %s per image, %.0f img/s\n",
+          threshold, chosen->trial.index,
+          chosen->trial.point.to_string().c_str(),
+          simgpu::precision_name(chosen->precision),
+          format_percent(chosen->metrics.average_precision).c_str(),
+          format_ms(chosen->metrics.optimized_latency * 1e3).c_str(),
+          chosen->metrics.throughput);
+    } else {
+      std::printf("\nno (model, precision) pair satisfies AP > %.2f\n",
+                  threshold);
+    }
+    std::ofstream selection_csv(flags.get_string("selection-csv"));
+    selection_csv << nas::precision_selection_csv(candidates, chosen);
+    std::printf("precision selection exported to %s\n",
+                flags.get_string("selection-csv").c_str());
   }
 
   std::printf("\nPareto front (accuracy vs throughput):\n");

@@ -43,6 +43,12 @@ class SppNet : public Module {
 
   const SppNetConfig& config() const { return config_; }
 
+  /// Structural access for post-training transforms (the INT8 quantizer
+  /// walks these to calibrate and freeze each layer).
+  Sequential& trunk() { return trunk_; }
+  SpatialPyramidPool& spp_layer() { return spp_; }
+  Sequential& head() { return head_; }
+
   /// Decode raw head outputs [N, 5] into per-image predictions.
   static std::vector<Prediction> decode(const Tensor& head_out);
 

@@ -9,10 +9,14 @@
 namespace dcn::ios {
 
 InferenceSession::InferenceSession(const graph::Graph& graph,
-                                   Schedule schedule, simgpu::Device& device)
-    : graph_(graph), schedule_(std::move(schedule)), device_(device) {
+                                   Schedule schedule, simgpu::Device& device,
+                                   simgpu::Precision precision)
+    : graph_(graph),
+      schedule_(std::move(schedule)),
+      device_(device),
+      precision_(precision) {
   validate_schedule(graph_, schedule_);
-  kernel_table_ = simgpu::make_kernel_table(graph_);
+  kernel_table_ = simgpu::make_kernel_table(graph_, precision_);
   for (const graph::OpNode& node : graph_.nodes()) {
     if (node.kind == graph::OpKind::kInput) {
       input_bytes_per_sample_ += node.output.numel() * 4;
@@ -103,9 +107,9 @@ double median(std::vector<double>& samples) {
 
 double measure_latency(const graph::Graph& graph, const Schedule& schedule,
                        simgpu::Device& device, std::int64_t batch, int warmup,
-                       int repeats) {
+                       int repeats, simgpu::Precision precision) {
   validate_measure_args(batch, warmup, repeats);
-  InferenceSession session(graph, schedule, device);
+  InferenceSession session(graph, schedule, device, precision);
   session.initialize();
   for (int i = 0; i < warmup; ++i) (void)session.run(batch);
   device.reset_clocks();
@@ -119,8 +123,9 @@ double measure_latency(const graph::Graph& graph, const Schedule& schedule,
 
 ResilientSession::ResilientSession(const graph::Graph& graph,
                                    Schedule schedule, simgpu::Device& device,
-                                   ResilientOptions options)
-    : session_(graph, std::move(schedule), device),
+                                   ResilientOptions options,
+                                   simgpu::Precision precision)
+    : session_(graph, std::move(schedule), device, precision),
       device_(device),
       options_(options),
       backoff_(options.retry, options.backoff_seed) {
@@ -201,9 +206,10 @@ double measure_latency_resilient(const graph::Graph& graph,
                                  simgpu::Device& device, std::int64_t batch,
                                  int warmup, int repeats,
                                  const ResilientOptions& options,
-                                 SessionStats* stats_out) {
+                                 SessionStats* stats_out,
+                                 simgpu::Precision precision) {
   validate_measure_args(batch, warmup, repeats);
-  ResilientSession session(graph, schedule, device, options);
+  ResilientSession session(graph, schedule, device, options, precision);
   session.initialize();
   for (int i = 0; i < warmup; ++i) (void)session.try_run(batch);
   device.reset_clocks();

@@ -28,9 +28,13 @@ struct RunResult {
 
 class InferenceSession {
  public:
-  /// `graph` and `device` must outlive the session.
+  /// `graph` and `device` must outlive the session. `precision` selects the
+  /// kernel variants the session launches (int8 sessions read quarter-width
+  /// weights/activations and use the device's int8 dense-math path); host
+  /// I/O stays float — quantize/dequantize happen on-device.
   InferenceSession(const graph::Graph& graph, Schedule schedule,
-                   simgpu::Device& device);
+                   simgpu::Device& device,
+                   simgpu::Precision precision = simgpu::Precision::kFp32);
 
   /// Load library, allocate weights and activation workspace, create the
   /// streams the widest stage needs. Idempotent.
@@ -46,11 +50,13 @@ class InferenceSession {
   bool initialized() const { return initialized_; }
 
   const Schedule& schedule() const { return schedule_; }
+  simgpu::Precision precision() const { return precision_; }
 
  private:
   const graph::Graph& graph_;
   Schedule schedule_;
   simgpu::Device& device_;
+  simgpu::Precision precision_ = simgpu::Precision::kFp32;
   std::vector<simgpu::KernelDesc> kernel_table_;
   std::int64_t input_bytes_per_sample_ = 0;
   std::int64_t output_bytes_per_sample_ = 0;
@@ -64,7 +70,8 @@ class InferenceSession {
 /// warmup < 0, or batch < 1.
 double measure_latency(const graph::Graph& graph, const Schedule& schedule,
                        simgpu::Device& device, std::int64_t batch,
-                       int warmup = 1, int repeats = 3);
+                       int warmup = 1, int repeats = 3,
+                       simgpu::Precision precision = simgpu::Precision::kFp32);
 
 // --- Resilient execution ---------------------------------------------------
 
@@ -100,7 +107,8 @@ struct SessionStats {
 class ResilientSession {
  public:
   ResilientSession(const graph::Graph& graph, Schedule schedule,
-                   simgpu::Device& device, ResilientOptions options = {});
+                   simgpu::Device& device, ResilientOptions options = {},
+                   simgpu::Precision precision = simgpu::Precision::kFp32);
 
   /// Resilient initialize: any fault during setup resets the device and
   /// starts over (partial initialization is never reused).
@@ -116,6 +124,7 @@ class ResilientSession {
 
   const SessionStats& stats() const { return stats_; }
   const ResilientOptions& options() const { return options_; }
+  simgpu::Precision precision() const { return session_.precision(); }
 
  private:
   void recover(const std::exception& error, int retry);
@@ -131,11 +140,10 @@ class ResilientSession {
 /// device loss recovered, failed repeats dropped (graceful degradation).
 /// Returns the median of the completed repeats; throws when every repeat
 /// failed. `stats_out`, when non-null, receives the session statistics.
-double measure_latency_resilient(const graph::Graph& graph,
-                                 const Schedule& schedule,
-                                 simgpu::Device& device, std::int64_t batch,
-                                 int warmup, int repeats,
-                                 const ResilientOptions& options,
-                                 SessionStats* stats_out = nullptr);
+double measure_latency_resilient(
+    const graph::Graph& graph, const Schedule& schedule,
+    simgpu::Device& device, std::int64_t batch, int warmup, int repeats,
+    const ResilientOptions& options, SessionStats* stats_out = nullptr,
+    simgpu::Precision precision = simgpu::Precision::kFp32);
 
 }  // namespace dcn::ios

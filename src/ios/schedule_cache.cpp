@@ -46,6 +46,7 @@ void append_spec(std::string& out, const simgpu::DeviceSpec& spec) {
   append_double(out, spec.library_load_per_kernel);
   append_double(out, spec.min_kernel_time);
   append_double(out, spec.inter_stage_gap);
+  append_double(out, spec.int8_throughput_multiplier);
 }
 
 // The cost-relevant content of one kernel: category + work profile. Names
@@ -54,6 +55,12 @@ void append_spec(std::string& out, const simgpu::DeviceSpec& spec) {
 void append_kernel(std::string& out, const simgpu::KernelDesc& kernel) {
   out += 'k';
   append_int(out, static_cast<std::int64_t>(kernel.category));
+  // The dtype is part of the kernel's identity. Without it, an int8 conv
+  // whose quarter-width byte counts happened to match an fp32 conv's would
+  // collide — and even with distinct byte counts, the compute-side int8
+  // speedup is invisible in the work profile, so fp32 and int8 instances
+  // of the same op would otherwise share (wrong) solutions.
+  append_int(out, static_cast<std::int64_t>(kernel.precision));
   append_double(out, kernel.flops_per_sample);
   append_double(out, kernel.activation_bytes_per_sample);
   append_double(out, kernel.weight_bytes);
@@ -76,7 +83,8 @@ std::string block_cache_key(const graph::Graph& graph,
   key += "block:";
   append_int(key, static_cast<std::int64_t>(ops.size()));
   for (std::size_t i = 0; i < ops.size(); ++i) {
-    append_kernel(key, simgpu::make_kernel_desc(graph, ops[i]));
+    append_kernel(key,
+                  simgpu::make_kernel_desc(graph, ops[i], options.precision));
     // Block-local dependency structure (edges from outside the block do
     // not constrain the DP and are omitted).
     key += 'p';
@@ -94,7 +102,8 @@ std::string block_cache_key(const graph::Graph& graph,
 
 std::string cost_cache_key(const graph::Graph& graph,
                            const simgpu::DeviceSpec& spec,
-                           const Schedule& schedule, std::int64_t batch) {
+                           const Schedule& schedule, std::int64_t batch,
+                           simgpu::Precision precision) {
   std::string key;
   key.reserve(64 + 96 * schedule.num_kernels());
   key += "cost:";
@@ -104,7 +113,7 @@ std::string cost_cache_key(const graph::Graph& graph,
     for (const Group& group : stage.groups) {
       key += 'g';
       for (graph::OpId id : group.ops) {
-        append_kernel(key, simgpu::make_kernel_desc(graph, id));
+        append_kernel(key, simgpu::make_kernel_desc(graph, id, precision));
       }
     }
   }

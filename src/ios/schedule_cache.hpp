@@ -90,9 +90,12 @@ std::string block_cache_key(const graph::Graph& graph,
                             const simgpu::DeviceSpec& spec,
                             const IosOptions& options);
 
-/// Canonical key of one schedule_cost evaluation.
-std::string cost_cache_key(const graph::Graph& graph,
-                           const simgpu::DeviceSpec& spec,
-                           const Schedule& schedule, std::int64_t batch);
+/// Canonical key of one schedule_cost evaluation. The kernel precision is
+/// part of the key: an fp32 and an int8 evaluation of the same schedule are
+/// different numbers and must never share an entry.
+std::string cost_cache_key(
+    const graph::Graph& graph, const simgpu::DeviceSpec& spec,
+    const Schedule& schedule, std::int64_t batch,
+    simgpu::Precision precision = simgpu::Precision::kFp32);
 
 }  // namespace dcn::ios

@@ -34,7 +34,8 @@ class SetScheduler {
     succs_.assign(static_cast<std::size_t>(n), 0);
     kernels_.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
-      kernels_.push_back(simgpu::make_kernel_desc(graph_, ops_[i]));
+      kernels_.push_back(
+          simgpu::make_kernel_desc(graph_, ops_[i], options_.precision));
       for (OpId in : graph_.node(ops_[i]).inputs) {
         auto it = local.find(in);
         if (it != local.end()) {
@@ -288,9 +289,10 @@ Schedule optimize_schedule(const graph::Graph& graph,
 
 double schedule_cost(const graph::Graph& graph,
                      const simgpu::DeviceSpec& spec, const Schedule& schedule,
-                     std::int64_t batch) {
+                     std::int64_t batch, simgpu::Precision precision) {
   ScheduleCache& cache = ScheduleCache::global();
-  const std::string key = cost_cache_key(graph, spec, schedule, batch);
+  const std::string key =
+      cost_cache_key(graph, spec, schedule, batch, precision);
   if (const auto cached = cache.find_cost(key)) return *cached;
   double total = 0.0;
   for (const Stage& stage : schedule.stages) {
@@ -300,7 +302,7 @@ double schedule_cost(const graph::Graph& graph,
       std::vector<simgpu::KernelDesc> ks;
       ks.reserve(group.ops.size());
       for (OpId id : group.ops) {
-        ks.push_back(simgpu::make_kernel_desc(graph, id));
+        ks.push_back(simgpu::make_kernel_desc(graph, id, precision));
       }
       groups.push_back(std::move(ks));
     }

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "ios/schedule.hpp"
+#include "simgpu/kernels.hpp"
 #include "simgpu/spec.hpp"
 
 namespace dcn::ios {
@@ -36,6 +37,10 @@ struct IosOptions {
   /// Batch size the schedule is optimized for (IOS specializes schedules
   /// per batch size, as does the paper's Figure 6 sweep).
   std::int64_t batch = 1;
+  /// Kernel precision the schedule is optimized for. Int8 kernels have a
+  /// different compute/memory balance, so fp32 and int8 DP instances are
+  /// distinct (and their cache keys must never collide).
+  simgpu::Precision precision = simgpu::Precision::kFp32;
 };
 
 /// Run IOS over the whole graph for the given device and options.
@@ -48,7 +53,8 @@ Schedule optimize_schedule(const graph::Graph& graph,
 /// the simulated timeline; the DP minimizes it.
 double schedule_cost(const graph::Graph& graph,
                      const simgpu::DeviceSpec& spec, const Schedule& schedule,
-                     std::int64_t batch);
+                     std::int64_t batch,
+                     simgpu::Precision precision = simgpu::Precision::kFp32);
 
 /// Brute-force optimal cost over all valid schedules of a graph
 /// (exponential; only for small test graphs — validates the DP).

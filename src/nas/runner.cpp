@@ -27,7 +27,7 @@ double measure(const graph::Graph& g, const ios::Schedule& schedule,
     ios::SessionStats stats;
     const double latency = ios::measure_latency_resilient(
         g, schedule, device, config.latency_batch, 1, 3, config.resilient,
-        &stats);
+        &stats, config.precision);
     if (config.verbose &&
         (stats.transient_retries > 0 || stats.reinitializations > 0)) {
       DCN_LOG_INFO << "  recovered from " << stats.transient_retries
@@ -36,7 +36,8 @@ double measure(const graph::Graph& g, const ios::Schedule& schedule,
     }
     return latency;
   }
-  return ios::measure_latency(g, schedule, device, config.latency_batch);
+  return ios::measure_latency(g, schedule, device, config.latency_batch,
+                              /*warmup=*/1, /*repeats=*/3, config.precision);
 }
 
 void write_checkpoint(const TrialDatabase& database,
@@ -124,6 +125,7 @@ TrialMetrics profile_architecture(const detect::SppNetConfig& model,
   const ios::Schedule sequential = ios::sequential_schedule(g);
   ios::IosOptions options;
   options.batch = config.latency_batch;
+  options.precision = config.precision;
   const ios::Schedule optimized =
       ios::optimize_schedule(g, config.device, options);
 

@@ -37,6 +37,10 @@ struct RunnerConfig {
   std::int64_t input_size = 100;
   /// Batch size at which efficiency is measured (Table 2 uses 1).
   std::int64_t latency_batch = 1;
+  /// Kernel precision the efficiency measurement runs at. The IOS schedule
+  /// is optimized for the same precision (int8 kernels have a different
+  /// compute/memory balance, so the best partition can differ).
+  simgpu::Precision precision = simgpu::Precision::kFp32;
   simgpu::DeviceSpec device = simgpu::a5500_spec();
   bool verbose = true;
 

@@ -42,13 +42,25 @@ Server::Server(const graph::Graph& graph, ios::Schedule schedule,
     throw ConfigError("Server: replicas must be >= 1, got " +
                       std::to_string(config_.replicas));
   }
+  if (!config_.replica_precisions.empty() &&
+      config_.replica_precisions.size() !=
+          static_cast<std::size_t>(config_.replicas)) {
+    throw ConfigError(
+        "Server: replica_precisions has " +
+        std::to_string(config_.replica_precisions.size()) +
+        " entries for " + std::to_string(config_.replicas) + " replicas");
+  }
   replicas_.reserve(static_cast<std::size_t>(config_.replicas));
   for (int r = 0; r < config_.replicas; ++r) {
+    const simgpu::Precision precision =
+        config_.replica_precisions.empty()
+            ? config_.precision
+            : config_.replica_precisions[static_cast<std::size_t>(r)];
     auto replica = std::make_unique<Replica>();
     replica->device =
         std::make_unique<simgpu::Device>(config_.device, recorder_);
     replica->session = std::make_unique<ios::ResilientSession>(
-        graph_, schedule_, *replica->device, config_.resilient);
+        graph_, schedule_, *replica->device, config_.resilient, precision);
     replica->session->initialize();
     replica->free_at = replica->device->host_time();
     replicas_.push_back(std::move(replica));

@@ -124,6 +124,12 @@ struct ServerConfig {
   std::size_t queue_capacity = 64;
   /// Model replicas, each with a private device + resilient session.
   int replicas = 1;
+  /// Precision every replica serves at (unless overridden per replica).
+  simgpu::Precision precision = simgpu::Precision::kFp32;
+  /// Per-replica precision overrides for mixed fleets (e.g. an int8 fast
+  /// path alongside an fp32 reference replica). Empty = all replicas use
+  /// `precision`; otherwise the length must equal `replicas`.
+  std::vector<simgpu::Precision> replica_precisions;
   simgpu::DeviceSpec device;
   ios::ResilientOptions resilient;
   /// Base fault plan; re-armed before every dispatched batch with a seed

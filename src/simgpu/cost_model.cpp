@@ -24,7 +24,11 @@ KernelCost kernel_cost(const DeviceSpec& spec, const KernelDesc& kernel,
   cost.occupancy =
       std::min(1.0, blocks / static_cast<double>(spec.resident_blocks()));
 
-  const double compute_full = flops / spec.sustained_flops();
+  const double dense_flops = kernel.precision == Precision::kInt8 &&
+                                     int8_compute_eligible(kernel.category)
+                                 ? spec.sustained_int8_flops()
+                                 : spec.sustained_flops();
+  const double compute_full = flops / dense_flops;
   const double mem_time = bytes / spec.dram_bandwidth;
   // An under-filled grid leaves SMs idle: compute throughput scales with
   // the fraction of the device the grid can occupy.

@@ -4,6 +4,27 @@
 
 namespace dcn::simgpu {
 
+const char* precision_name(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "fp32";
+}
+
+Precision precision_from_name(const std::string& name) {
+  if (name == "fp32") return Precision::kFp32;
+  if (name == "int8") return Precision::kInt8;
+  throw ConfigError("unknown precision '" + name + "' (fp32|int8)");
+}
+
+bool int8_compute_eligible(profiler::KernelCategory category) {
+  return category == profiler::KernelCategory::kConv ||
+         category == profiler::KernelCategory::kMatMul;
+}
+
 profiler::KernelCategory categorize(graph::OpKind kind) {
   switch (kind) {
     case graph::OpKind::kLinear:
@@ -28,18 +49,26 @@ bool is_device_op(graph::OpKind kind) {
   return kind != graph::OpKind::kInput && kind != graph::OpKind::kOutput;
 }
 
-KernelDesc make_kernel_desc(const graph::Graph& graph, graph::OpId id) {
+KernelDesc make_kernel_desc(const graph::Graph& graph, graph::OpId id,
+                            Precision precision) {
   const graph::OpNode& node = graph.node(id);
   const graph::TensorDesc input = graph.input_desc(id);
 
   KernelDesc desc;
   desc.name = node.name;
   desc.category = categorize(node.kind);
+  desc.precision = precision;
   if (!is_device_op(node.kind)) return desc;
 
+  // 1 byte per element instead of 4 for both activations and weights; the
+  // MAC count is untouched (the int8 compute gain is a device property
+  // applied by the cost model, not a change in the amount of math).
+  const double bytes_scale = precision == Precision::kInt8 ? 0.25 : 1.0;
   desc.flops_per_sample = node.flops(input);
-  desc.activation_bytes_per_sample = node.activation_bytes(input);
-  desc.weight_bytes = 4.0 * static_cast<double>(node.parameter_count(input));
+  desc.activation_bytes_per_sample =
+      bytes_scale * node.activation_bytes(input);
+  desc.weight_bytes =
+      bytes_scale * 4.0 * static_cast<double>(node.parameter_count(input));
   desc.threads_per_sample = static_cast<double>(node.output.numel());
   if (node.kind == graph::OpKind::kLinear) {
     // GEMM/GEMV kernels parallelize the reduction dimension too (warp-level
@@ -51,11 +80,12 @@ KernelDesc make_kernel_desc(const graph::Graph& graph, graph::OpId id) {
   return desc;
 }
 
-std::vector<KernelDesc> make_kernel_table(const graph::Graph& graph) {
+std::vector<KernelDesc> make_kernel_table(const graph::Graph& graph,
+                                          Precision precision) {
   std::vector<KernelDesc> table;
   table.reserve(graph.size());
   for (const graph::OpNode& node : graph.nodes()) {
-    table.push_back(make_kernel_desc(graph, node.id));
+    table.push_back(make_kernel_desc(graph, node.id, precision));
   }
   return table;
 }

@@ -13,6 +13,7 @@ DeviceSpec a5500_spec() {
   spec.dram_bandwidth = 768e9;
   spec.pcie_bandwidth = 22e9;
   spec.dram_bytes = 24ll << 30;
+  spec.int8_throughput_multiplier = 3.0;
   return spec;
 }
 
@@ -27,6 +28,7 @@ DeviceSpec tiny_spec() {
   spec.dram_bandwidth = 50e9;
   spec.pcie_bandwidth = 8e9;
   spec.dram_bytes = 2ll << 30;
+  spec.int8_throughput_multiplier = 3.0;
   return spec;
 }
 

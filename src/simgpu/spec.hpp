@@ -25,6 +25,11 @@ struct DeviceSpec {
   int blocks_per_sm = 16;
   /// Threads per block assumed by the launch-configuration model.
   int threads_per_block = 256;
+  /// Sustained int8 dense-math speedup over fp32 (DP4A/IMMA path). Applies
+  /// to conv/GEMM kernels only; memory-bound ops gain from narrower traffic
+  /// instead. Deliberately below the 4x datasheet ratio — real int8 kernels
+  /// lose some of it to dequant epilogues and tail effects.
+  double int8_throughput_multiplier = 3.0;
 
   // Memory.
   double dram_bandwidth = 768e9;      // bytes/s
@@ -62,6 +67,11 @@ struct DeviceSpec {
 
   /// Sustained dense-compute throughput (FLOP/s).
   double sustained_flops() const { return peak_flops * compute_efficiency; }
+
+  /// Sustained int8 dense-compute throughput (MAC-equivalent FLOP/s).
+  double sustained_int8_flops() const {
+    return sustained_flops() * int8_throughput_multiplier;
+  }
 };
 
 /// The paper's test GPU (NVIDIA RTX A5500, Dell Precision 5820 host).

@@ -1,0 +1,150 @@
+#include "tensor/qgemm.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "tensor/workspace.hpp"
+
+namespace dcn {
+namespace {
+
+// Rows of A processed per accumulator tile: four int32 accumulator rows of
+// typical conv output width fit comfortably in L1/L2 alongside the streamed
+// B panel.
+constexpr std::int64_t kQMr = 4;
+// M rows per compute task. Fixed regardless of thread count so the
+// decomposition (and hence, trivially, the output) is partition-invariant.
+constexpr std::int64_t kQBandRows = 64;
+
+void validate(std::int64_t m, std::int64_t n, std::int64_t k,
+              std::int64_t lda, std::int64_t ldb, std::int64_t ldc,
+              std::int64_t a_scale_count) {
+  DCN_CHECK(m >= 0 && n >= 0 && k >= 0)
+      << "qgemm dims " << m << "x" << n << "x" << k;
+  DCN_CHECK(lda >= k && ldb >= n && ldc >= n)
+      << "qgemm leading dims " << lda << "/" << ldb << "/" << ldc;
+  DCN_CHECK(a_scale_count == m || a_scale_count == 1)
+      << "qgemm a_scale_count " << a_scale_count << " for m = " << m;
+}
+
+inline float apply_epilogue(float x, const float* row_bias, std::int64_t row,
+                            bool relu) {
+  if (row_bias != nullptr) x += row_bias[row];
+  return relu ? std::max(x, 0.0f) : x;
+}
+
+// One band of rows [m0, m1): outer-product accumulation so the B panel is
+// streamed row-major (contiguous) and each A row is read once per K pass.
+void qgemm_band(std::int64_t m0, std::int64_t m1, std::int64_t n,
+                std::int64_t k, const std::int8_t* a, std::int64_t lda,
+                const float* a_scales, std::int64_t a_scale_count,
+                const std::uint8_t* b, std::int64_t ldb, float b_scale,
+                std::int32_t b_zp, float* c, std::int64_t ldc,
+                const QuantEpilogue& epilogue) {
+  Workspace& ws = Workspace::tls();
+  Workspace::Scope scope(ws);
+  std::int32_t* acc = ws.ints(static_cast<std::size_t>(kQMr * n));
+
+  for (std::int64_t r0 = m0; r0 < m1; r0 += kQMr) {
+    const std::int64_t rows = std::min(kQMr, m1 - r0);
+    std::fill(acc, acc + rows * n, 0);
+    // Row sums of A fold the activation zero point out of the inner loop.
+    std::int32_t rowsum[kQMr] = {0, 0, 0, 0};
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const std::int8_t* arow = a + (r0 + r) * lda;
+      std::int32_t sum = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) sum += arow[kk];
+      rowsum[r] = sum;
+      std::int32_t* acc_row = acc + r * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const std::int32_t av = arow[kk];
+        if (av == 0) continue;
+        const std::uint8_t* brow = b + kk * ldb;
+        for (std::int64_t j = 0; j < n; ++j) {
+          acc_row[j] += av * static_cast<std::int32_t>(brow[j]);
+        }
+      }
+    }
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float scale =
+          (a_scale_count == 1 ? a_scales[0] : a_scales[r0 + r]) * b_scale;
+      const std::int32_t correction = b_zp * rowsum[r];
+      const std::int32_t* acc_row = acc + r * n;
+      float* crow = c + (r0 + r) * ldc;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] = apply_epilogue(
+            scale * static_cast<float>(acc_row[j] - correction),
+            epilogue.row_bias, r0 + r, epilogue.relu);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void qgemm(std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, std::int64_t lda, const float* a_scales,
+           std::int64_t a_scale_count, const std::uint8_t* b,
+           std::int64_t ldb, const QuantParams& b_params, float* c,
+           std::int64_t ldc, const QuantEpilogue& epilogue) {
+  validate(m, n, k, lda, ldb, ldc, a_scale_count);
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    // Degenerate reduction: the accumulator is zero everywhere; only the
+    // epilogue runs.
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        c[i * ldc + j] =
+            apply_epilogue(0.0f, epilogue.row_bias, i, epilogue.relu);
+      }
+    }
+    return;
+  }
+  const auto bands =
+      static_cast<int>((m + kQBandRows - 1) / kQBandRows);
+  run_compute_tasks(bands, [&](int band) {
+    const std::int64_t m0 = static_cast<std::int64_t>(band) * kQBandRows;
+    const std::int64_t m1 = std::min(m, m0 + kQBandRows);
+    qgemm_band(m0, m1, n, k, a, lda, a_scales, a_scale_count, b, ldb,
+               b_params.scale, b_params.zero_point, c, ldc, epilogue);
+  });
+}
+
+void qgemm(const QuantizedWeights& weights, const std::uint8_t* b,
+           std::int64_t n, std::int64_t ldb, const QuantParams& b_params,
+           float* c, std::int64_t ldc, const QuantEpilogue& epilogue) {
+  qgemm(weights.rows, n, weights.cols, weights.data.data(), weights.cols,
+        weights.scales.data(),
+        static_cast<std::int64_t>(weights.scales.size()), b, ldb, b_params,
+        c, ldc, epilogue);
+}
+
+void qgemm_reference(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::int8_t* a, std::int64_t lda,
+                     const float* a_scales, std::int64_t a_scale_count,
+                     const std::uint8_t* b, std::int64_t ldb,
+                     const QuantParams& b_params, float* c, std::int64_t ldc,
+                     const QuantEpilogue& epilogue) {
+  validate(m, n, k, lda, ldb, ldc, a_scale_count);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float scale =
+        (a_scale_count == 1 ? a_scales[0] : a_scales[i]) * b_params.scale;
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      std::int64_t asum = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int64_t>(a[i * lda + kk]) *
+               static_cast<std::int64_t>(b[kk * ldb + j]);
+        asum += a[i * lda + kk];
+      }
+      const auto corrected = static_cast<std::int32_t>(
+          acc - static_cast<std::int64_t>(b_params.zero_point) * asum);
+      c[i * ldc + j] =
+          apply_epilogue(scale * static_cast<float>(corrected),
+                         epilogue.row_bias, i, epilogue.relu);
+    }
+  }
+}
+
+}  // namespace dcn

@@ -65,6 +65,19 @@ float* Workspace::floats(std::size_t n) {
   return blocks_.back().data.get() + blocks_.back().used - n;
 }
 
+std::uint8_t* Workspace::bytes(std::size_t n) {
+  // Backed by float storage: one float holds four bytes and the arena's
+  // 64-byte alignment carries over. The buffer is only ever accessed
+  // through the returned pointer, so no aliasing hazard arises.
+  return reinterpret_cast<std::uint8_t*>(
+      floats((n + sizeof(float) - 1) / sizeof(float)));
+}
+
+std::int32_t* Workspace::ints(std::size_t n) {
+  static_assert(sizeof(std::int32_t) == sizeof(float));
+  return reinterpret_cast<std::int32_t*>(floats(n));
+}
+
 void Workspace::restore(std::size_t block, std::size_t used) {
   for (std::size_t i = block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
   if (block < blocks_.size()) blocks_[block].used = used;

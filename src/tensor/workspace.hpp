@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -39,6 +40,14 @@ class Workspace {
   /// 64-byte-aligned uninitialized scratch for `n` floats, valid until the
   /// innermost open Scope closes. Requires an open Scope.
   float* floats(std::size_t n);
+
+  /// 64-byte-aligned uninitialized scratch for `n` bytes out of the same
+  /// arena (the quantized GEMM packs its u8/s8 panels here).
+  std::uint8_t* bytes(std::size_t n);
+
+  /// 64-byte-aligned uninitialized scratch for `n` 32-bit integers
+  /// (quantized-GEMM accumulators and weight row sums).
+  std::int32_t* ints(std::size_t n);
 
   /// RAII arena mark: restores the allocation cursor on destruction,
   /// releasing everything allocated inside the scope at once.

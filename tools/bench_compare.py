@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Compare a benchmark JSON against its committed baseline and gate CI.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--tolerance 0.02] [--report out.md]
+
+Both files are the JSON exports of bench_quant / bench_serving (flat dicts,
+possibly with one level of nesting). Metrics are classified by key name:
+
+  * ``*_ms`` / ``*latency*``        lower is better, relative tolerance
+  * ``*throughput*`` / ``*speedup*`` higher is better, relative tolerance
+  * ``reject_rate``                 lower is better, absolute tolerance 0.02
+  * ``slo_attainment``              higher is better, absolute tolerance 0.02
+  * ``*_ap``                        higher is better, absolute tolerance 0.02
+  * ``ap_drop_points``              lower is better, absolute tolerance 2.0
+  * anything else                   informational (config echo, counts)
+
+The default relative tolerance is 2%: a latency increase or throughput drop
+beyond it fails the gate (exit 1). Improvements never fail. A metric present
+in the baseline but missing from the current run is a regression — a bench
+that silently stops reporting a number must not pass. The markdown report
+(written with --report, printed to stdout either way) is uploaded as a CI
+artifact so regressions are diagnosable from the run page.
+
+The benches run on a simulated device with seeded data, so their numbers are
+machine-independent; the tolerance absorbs rounding in the JSON rendering,
+not hardware noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+ABS_TOLERANCES = {
+    "reject_rate": 0.02,
+    "slo_attainment": 0.02,
+    "ap_drop_points": 2.0,
+}
+
+
+def classify(key):
+    """Return (direction, kind) for a metric key.
+
+    direction: -1 lower-better, +1 higher-better, 0 informational.
+    kind: "relative", "absolute", or "info".
+    """
+    leaf = key.rsplit(".", 1)[-1]
+    if leaf in ("reject_rate", "ap_drop_points"):
+        return -1, "absolute"
+    if leaf == "slo_attainment":
+        return +1, "absolute"
+    if leaf.endswith("_ap"):
+        return +1, "absolute"
+    if leaf.endswith("_ms") or "latency" in leaf:
+        return -1, "relative"
+    if "throughput" in leaf or "speedup" in leaf:
+        return +1, "relative"
+    return 0, "info"
+
+
+def flatten(obj, prefix=""):
+    flat = {}
+    for key, value in obj.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            flat.update(flatten(value, path))
+        else:
+            flat[path] = value
+    return flat
+
+
+def compare(baseline, current, rel_tolerance):
+    """Yield (key, base, cur, delta_str, status) rows, worst first."""
+    rows = []
+    for key, base in sorted(baseline.items()):
+        direction, kind = classify(key)
+        cur = current.get(key)
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            status = "ok" if cur == base else "changed"
+            rows.append((key, base, cur, "", status))
+            continue
+        if cur is None:
+            rows.append((key, base, None, "", "missing"))
+            continue
+        delta = cur - base
+        if kind == "info" or direction == 0:
+            rows.append((key, base, cur, f"{delta:+g}", "info"))
+            continue
+        if kind == "absolute":
+            tolerance = ABS_TOLERANCES.get(key.rsplit(".", 1)[-1], 0.02)
+            regressed = direction * delta < -tolerance
+            improved = direction * delta > tolerance
+            delta_str = f"{delta:+.4f}"
+        else:
+            tolerance = rel_tolerance * abs(base)
+            regressed = direction * delta < -tolerance
+            improved = direction * delta > tolerance
+            pct = (delta / base * 100.0) if base else float("inf")
+            delta_str = f"{pct:+.2f}%"
+        status = "REGRESSION" if regressed else (
+            "improved" if improved else "ok")
+        rows.append((key, base, cur, delta_str, status))
+    for key in sorted(set(current) - set(baseline)):
+        rows.append((key, None, current[key], "", "new"))
+    order = {"REGRESSION": 0, "missing": 1, "changed": 2, "improved": 3,
+             "ok": 4, "info": 5, "new": 6}
+    rows.sort(key=lambda r: (order[r[4]], r[0]))
+    return rows
+
+
+def render(rows, baseline_path, current_path):
+    lines = [
+        f"# Bench comparison: `{current_path}` vs `{baseline_path}`",
+        "",
+        "| metric | baseline | current | delta | status |",
+        "|---|---|---|---|---|",
+    ]
+    for key, base, cur, delta, status in rows:
+        fmt = lambda v: "—" if v is None else (
+            f"{v:.4f}" if isinstance(v, float) else str(v))
+        mark = {"REGRESSION": "❌ REGRESSION", "missing": "❌ missing",
+                "changed": "⚠️ changed", "improved": "✅ improved",
+                "ok": "ok", "info": "info", "new": "new"}[status]
+        lines.append(
+            f"| {key} | {fmt(base)} | {fmt(cur)} | {delta} | {mark} |")
+    failures = sum(1 for r in rows if r[4] in ("REGRESSION", "missing"))
+    lines.append("")
+    lines.append("**FAIL**: {} regressed metric(s)".format(failures)
+                 if failures else "**PASS**: no regressions")
+    return "\n".join(lines) + "\n", failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Gate CI on benchmark JSON regressions.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative tolerance (default 2%%)")
+    parser.add_argument("--report", help="also write the markdown here")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as f:
+        baseline = flatten(json.load(f))
+    with open(args.current) as f:
+        current = flatten(json.load(f))
+
+    rows = compare(baseline, current, args.tolerance)
+    report, failures = render(rows, args.baseline, args.current)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+    sys.stdout.write(report)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
