@@ -1,0 +1,133 @@
+// Chaos-engineering demo: the self-healing serve fleet riding out a seeded
+// chaos schedule.
+//
+// Serves a bursty SLO-bound request stream on a mixed-precision replica
+// fleet (fp32 primaries + an INT8 degraded pool) while a chaos schedule
+// kills replicas for good and slows others by 8x mid-run. Every mitigation
+// layer is on: health-weighted dispatch with circuit breakers, bounded
+// respawn, crash re-dispatch, hedged requests racing the stragglers, and
+// queue-pressure load shedding into the INT8 pool. Outputs the serving
+// metrics with the fleet self-healing block, the replica health-transition
+// timeline, a chrome trace whose instant events mark every death / respawn
+// / hedge, and the completion log CSV with the served_precision column.
+//
+//   chaos_demo --chaos 'crash:at=5,kills=2;straggle:at=10,dur=5,factor=8'
+#include <cstdio>
+#include <fstream>
+
+#include "core/table.hpp"
+#include "core/cli.hpp"
+#include "detect/sppnet_config.hpp"
+#include "graph/builder.hpp"
+#include "ios/executor.hpp"
+#include "ios/scheduler.hpp"
+#include "profiler/report.hpp"
+#include "profiler/trace.hpp"
+#include "serve/server.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/kernels.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  CliFlags flags("chaos_demo",
+                 "self-healing replica fleet under a seeded chaos schedule");
+  flags.add_int("input", 40, "input patch size");
+  flags.add_double("duration", 20.0, "trace length, virtual seconds");
+  flags.add_double("rate", 0.0, "offered req/s (0 = 2x serial capacity)");
+  flags.add_int("max-batch", 8, "dynamic batcher size bound");
+  flags.add_int("queue", 64, "admission queue capacity");
+  flags.add_int("replicas", 6, "fleet size (last 2 serve INT8)");
+  flags.add_double("deadline-ms", 50.0, "per-request SLO");
+  flags.add_string("chaos",
+                   "crash:at=5,kills=2;straggle:at=10,dur=5,count=1,factor=8",
+                   "chaos schedule (crash:... / straggle:..., ';'-joined)");
+  // Seed chosen so the default straggler wave hits a surviving replica
+  // (the hedging path has something to race).
+  flags.add_int("chaos-seed", 3, "chaos victim-draw seed");
+  flags.add_string("trace", "chaos_trace.json", "chrome trace output path");
+  flags.add_string("log", "chaos_log.csv", "completion log output path");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto spec = simgpu::a5500_spec();
+  const detect::SppNetConfig model = detect::sppnet_candidate2();
+  const graph::Graph g =
+      graph::build_inference_graph(model, flags.get_int("input"));
+  const int max_batch = static_cast<int>(flags.get_int("max-batch"));
+  ios::IosOptions ios_options;
+  ios_options.batch = max_batch;
+  const ios::Schedule schedule = ios::optimize_schedule(g, spec, ios_options);
+
+  simgpu::Device probe(spec);
+  const double serial_latency = ios::measure_latency(g, schedule, probe, 1);
+  double rate = flags.get_double("rate");
+  if (rate <= 0.0) rate = 2.0 / serial_latency;
+
+  serve::TrafficConfig traffic;
+  traffic.seed = 42;
+  traffic.duration = flags.get_double("duration");
+  traffic.rate = rate;
+  traffic.burst_factor = 1.0;
+  traffic.burst_period = 5.0;
+  traffic.burst_duty = 0.4;
+  traffic.deadline = flags.get_double("deadline-ms") * 1e-3;
+  const auto trace = serve::generate_trace(traffic);
+
+  const int replicas = static_cast<int>(flags.get_int("replicas"));
+  serve::ServerConfig config;
+  config.batch.max_batch = max_batch;
+  config.batch.timeout = 2.0e-3;
+  config.queue_capacity = static_cast<std::size_t>(flags.get_int("queue"));
+  config.replicas = replicas;
+  config.device = spec;
+  // Mixed fleet: the last two replicas form the INT8 degraded pool the
+  // load shedder steers into under queue pressure.
+  if (replicas > 2) {
+    config.replica_precisions.assign(static_cast<std::size_t>(replicas),
+                                     simgpu::Precision::kFp32);
+    for (int r = replicas - 2; r < replicas; ++r)
+      config.replica_precisions[static_cast<std::size_t>(r)] =
+          simgpu::Precision::kInt8;
+    config.fleet.shed.enabled = true;
+    config.fleet.shed.degrade_watermark = 0.5;
+    config.fleet.shed.restore_watermark = 0.125;
+  }
+  config.fleet.hedge.enabled = true;
+  config.fleet.hedge.factor = 2.0;
+  config.fleet.chaos = serve::ChaosConfig::parse(
+      flags.get_string("chaos"),
+      static_cast<std::uint64_t>(flags.get_int("chaos-seed")));
+
+  std::printf(
+      "serving %zu requests over %.0fs (%.0f req/s base) on %d replicas\n"
+      "chaos: %s\n\n",
+      trace.size(), traffic.duration, rate, replicas,
+      flags.get_string("chaos").c_str());
+
+  profiler::Recorder recorder;
+  serve::Server server(g, schedule, config, &recorder);
+  const serve::ServingReport report = server.serve(trace);
+  std::printf("%s\n", report.to_string().c_str());
+
+  // Replica health timeline: every state transition the monitor logged, in
+  // fire order — the textual twin of the chrome-trace instant events.
+  TextTable timeline({"Time", "Replica", "Transition", "Reason"});
+  for (const auto& t : server.health_transitions()) {
+    timeline.add_row({format_double(t.time, 3) + " s",
+                      std::to_string(t.replica),
+                      std::string(serve::replica_state_name(t.from)) + " -> " +
+                          serve::replica_state_name(t.to),
+                      t.reason});
+  }
+  std::printf("Replica health timeline:\n%s\n",
+              timeline.to_string().c_str());
+  std::printf("%s\n", profiler::render_report(recorder).c_str());
+
+  profiler::write_chrome_trace(recorder, flags.get_string("trace"));
+  std::ofstream log(flags.get_string("log"));
+  log << serve::Server::log_to_csv(server.log());
+  std::printf("chrome trace written to %s (load in chrome://tracing)\n",
+              flags.get_string("trace").c_str());
+  std::printf("completion log written to %s\n",
+              flags.get_string("log").c_str());
+  return 0;
+}

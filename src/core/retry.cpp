@@ -10,6 +10,8 @@ namespace dcn {
 double backoff_delay(const RetryPolicy& policy, int retry, Rng& rng) {
   DCN_CHECK(retry >= 1) << "retry index " << retry;
   DCN_CHECK(policy.base_backoff >= 0.0) << "negative base_backoff";
+  DCN_CHECK(policy.max_backoff > 0.0)
+      << "max_backoff " << policy.max_backoff << " must be positive";
   DCN_CHECK(policy.jitter >= 0.0 && policy.jitter < 1.0)
       << "jitter " << policy.jitter;
   double delay = policy.base_backoff * std::pow(policy.multiplier, retry - 1);
@@ -17,7 +19,11 @@ double backoff_delay(const RetryPolicy& policy, int retry, Rng& rng) {
   if (policy.jitter > 0.0) {
     delay *= rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
   }
-  return delay;
+  // The jitter factor reaches 1 + jitter, so the scaled delay can overshoot
+  // max_backoff; and a base_backoff of 0 would make every delay 0, turning
+  // the retry loop into a busy spin on the virtual clock. Clamp into
+  // (0, max_backoff] so a delay is always strictly positive and capped.
+  return std::clamp(delay, kMinBackoffSeconds, policy.max_backoff);
 }
 
 bool is_retryable(const std::exception& error) {

@@ -30,8 +30,15 @@ struct RetryPolicy {
   double jitter = 0.0;
 };
 
+/// Floor for a single backoff delay (1 virtual nanosecond): a delay of
+/// exactly 0 would retry without yielding any virtual time, so the clamp in
+/// backoff_delay keeps every delay strictly positive.
+inline constexpr double kMinBackoffSeconds = 1.0e-9;
+
 /// Delay before retry number `retry` (1-based):
-/// min(base * multiplier^(retry-1), max_backoff) * jitter_factor(rng).
+/// min(base * multiplier^(retry-1), max_backoff) * jitter_factor(rng),
+/// clamped into [kMinBackoffSeconds, max_backoff] — jitter never pushes a
+/// delay above the cap or down to zero.
 double backoff_delay(const RetryPolicy& policy, int retry, Rng& rng);
 
 /// A policy bound to its own seeded jitter stream. Jittered delays become a

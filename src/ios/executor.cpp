@@ -153,6 +153,14 @@ void ResilientSession::recover(const std::exception& error, int retry) {
                               error.what());
 }
 
+void ResilientSession::hard_restart() {
+  device_.hard_reset();
+  session_.invalidate();
+  ++stats_.reinitializations;
+  device_.record_recovery("respawn", 0.0, "replica hard restart");
+  initialize();
+}
+
 void ResilientSession::initialize() {
   RetryStats retry_stats;
   with_retries(

@@ -122,6 +122,12 @@ class ResilientSession {
   /// pure function of the batch index, independent of replica history.
   void reseed_backoff(std::uint64_t seed) { backoff_.reseed(seed); }
 
+  /// Full replica restart: hard-reset the device (dropping the library,
+  /// all memory, and queued work), then re-initialize from scratch. The
+  /// serving layer respawns a crashed replica through this; counts one
+  /// reinitialization in stats().
+  void hard_restart();
+
   const SessionStats& stats() const { return stats_; }
   const ResilientOptions& options() const { return options_; }
   simgpu::Precision precision() const { return session_.precision(); }

@@ -86,4 +86,14 @@ struct CounterSample {
   std::int64_t value = 0;
 };
 
+/// A zero-duration marker on the virtual timeline (replica health-state
+/// transitions, hedge launches, shed decisions). Rendered as a chrome-trace
+/// instant event (`ph:"i"`), so fleet lifecycle markers land on the same
+/// timeline as the kernels and faults they explain.
+struct InstantEvent {
+  double time = 0.0;
+  std::string name;
+  std::string detail;
+};
+
 }  // namespace dcn::profiler

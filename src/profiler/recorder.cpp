@@ -117,12 +117,23 @@ void Recorder::record_counter_sample(std::string name, double time,
   counter_samples_.push_back(std::move(sample));
 }
 
+void Recorder::record_instant(std::string name, double time,
+                              std::string detail) {
+  if (!enabled_) return;
+  InstantEvent event;
+  event.name = std::move(name);
+  event.time = time;
+  event.detail = std::move(detail);
+  instant_events_.push_back(std::move(event));
+}
+
 void Recorder::clear() {
   api_spans_.clear();
   kernel_spans_.clear();
   memop_spans_.clear();
   fault_spans_.clear();
   counter_samples_.clear();
+  instant_events_.clear();
 }
 
 }  // namespace dcn::profiler

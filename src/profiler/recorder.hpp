@@ -22,6 +22,7 @@ class Recorder {
                     std::string detail);
   void record_counter_sample(std::string name, double time,
                              std::int64_t value);
+  void record_instant(std::string name, double time, std::string detail);
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
@@ -37,6 +38,9 @@ class Recorder {
   const std::vector<CounterSample>& counter_samples() const {
     return counter_samples_;
   }
+  const std::vector<InstantEvent>& instant_events() const {
+    return instant_events_;
+  }
 
  private:
   bool enabled_ = true;
@@ -45,6 +49,7 @@ class Recorder {
   std::vector<MemopSpan> memop_spans_;
   std::vector<FaultSpan> fault_spans_;
   std::vector<CounterSample> counter_samples_;
+  std::vector<InstantEvent> instant_events_;
 };
 
 }  // namespace dcn::profiler

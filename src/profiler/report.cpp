@@ -171,6 +171,20 @@ std::string render_report(const Recorder& recorder) {
     os << sample_table.to_string();
   }
 
+  // Fleet health markers (replica state transitions, hedge launches, shed
+  // decisions): the chrome trace carries each marker as an instant event;
+  // the text report lists the timeline so a faulted serving run reads as a
+  // story — death, suspicion, respawn, recovery — next to the API stats.
+  if (!recorder.instant_events().empty()) {
+    os << "\nFleet Health Events:\n";
+    TextTable fleet_table({"Time (us)", "Event", "Detail"});
+    for (const InstantEvent& event : recorder.instant_events()) {
+      fleet_table.add_row({format_double(event.time * 1e6, 1), event.name,
+                           event.detail});
+    }
+    os << fleet_table.to_string();
+  }
+
   // Process-wide counters (schedule-cache hits/misses and friends): not an
   // nsys view, but campaign-level reports need the amortization numbers
   // next to the timing they explain.

@@ -80,6 +80,16 @@ std::string to_chrome_trace(const Recorder& recorder) {
        << sample.time * 1e6 << ", \"args\": {\"value\": " << sample.value
        << "}}";
   }
+  // Fleet lifecycle markers (health transitions, hedges, shed decisions) as
+  // Chrome instant ("i") events pinned to the virtual timeline.
+  for (const InstantEvent& event : recorder.instant_events()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << json_escape(event.name)
+       << "\", \"cat\": \"fleet\", \"ph\": \"i\", \"s\": \"g\", \"pid\": 1, "
+       << "\"tid\": 4, \"ts\": " << event.time * 1e6
+       << ", \"args\": {\"detail\": \"" << json_escape(event.detail) << "\"}}";
+  }
   // Global counters as Chrome counter ("C") events so cache hit/miss totals
   // render as tracks alongside the timeline.
   for (const auto& [name, value] : counter_snapshot()) {

@@ -56,8 +56,24 @@ Batch DynamicBatcher::flush(double now) {
   } else {
     ++timeout_flushes_;
   }
-  batch.requests = queue_.pop(static_cast<std::size_t>(policy_.max_batch));
+  // Expired requests are dropped here, at batch formation, so they neither
+  // consume a live slot nor burn replica time; live requests behind them in
+  // the queue backfill the freed slots.
+  while (batch.requests.size() < static_cast<std::size_t>(policy_.max_batch) &&
+         !queue_.empty()) {
+    Request request = queue_.take();
+    if (request.deadline < now) {
+      ++expired_drops_;
+      batch.expired.push_back(request);
+    } else {
+      batch.requests.push_back(request);
+    }
+  }
   return batch;
+}
+
+std::vector<Request> DynamicBatcher::drain() {
+  return queue_.pop(queue_.size());
 }
 
 }  // namespace dcn::serve

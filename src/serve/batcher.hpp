@@ -34,12 +34,16 @@ enum class FlushTrigger { kSize, kTimeout };
 
 const char* flush_trigger_name(FlushTrigger trigger);
 
-/// One cut batch, ready for dispatch.
+/// One cut batch, ready for dispatch. `requests` holds only live requests;
+/// requests whose deadline already passed at the cut instant are diverted
+/// into `expired` so no replica time is spent on answers the client has
+/// abandoned, and the live slots they vacate are refilled from the queue.
 struct Batch {
   std::int64_t index = 0;
   double cut_time = 0.0;
   FlushTrigger trigger = FlushTrigger::kTimeout;
   std::vector<Request> requests;
+  std::vector<Request> expired;
 };
 
 class DynamicBatcher {
@@ -58,9 +62,17 @@ class DynamicBatcher {
   /// pending.
   std::optional<double> next_flush_time(double replica_free) const;
 
-  /// Cut up to max_batch pending requests at virtual time `now`. Requires a
-  /// non-empty queue; the trigger records whether size or timeout fired.
+  /// Cut up to max_batch *live* pending requests at virtual time `now`,
+  /// diverting already-expired requests into Batch::expired (they do not
+  /// consume batch slots). Requires a non-empty queue; the trigger records
+  /// whether size or timeout fired. A batch whose every request expired has
+  /// an empty `requests` — callers skip dispatch but still account the
+  /// expiries.
   Batch flush(double now);
+
+  /// Empty the queue without cutting a batch (fleet-extinct drain): the
+  /// requests are returned in arrival order and no flush is counted.
+  std::vector<Request> drain();
 
   const BoundedQueue& queue() const { return queue_; }
   const BatchPolicy& policy() const { return policy_; }
@@ -68,6 +80,8 @@ class DynamicBatcher {
   std::int64_t batches() const { return next_index_; }
   std::int64_t size_flushes() const { return size_flushes_; }
   std::int64_t timeout_flushes() const { return timeout_flushes_; }
+  /// Requests dropped at batch formation because their deadline had passed.
+  std::int64_t expired_drops() const { return expired_drops_; }
 
  private:
   BatchPolicy policy_;
@@ -75,6 +89,7 @@ class DynamicBatcher {
   std::int64_t next_index_ = 0;
   std::int64_t size_flushes_ = 0;
   std::int64_t timeout_flushes_ = 0;
+  std::int64_t expired_drops_ = 0;
 };
 
 }  // namespace dcn::serve

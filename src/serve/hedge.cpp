@@ -1,0 +1,45 @@
+#include "serve/hedge.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace dcn::serve {
+
+HedgeController::HedgeController(HedgePolicy policy) : policy_(policy) {
+  if (policy.quantile <= 0.0 || policy.quantile >= 1.0) {
+    throw ConfigError("HedgeController: quantile must be in (0, 1), got " +
+                      std::to_string(policy.quantile));
+  }
+  if (policy.factor <= 0.0) {
+    throw ConfigError("HedgeController: factor must be > 0, got " +
+                      std::to_string(policy.factor));
+  }
+  if (policy.min_delay < 0.0) {
+    throw ConfigError("HedgeController: min_delay must be >= 0, got " +
+                      std::to_string(policy.min_delay));
+  }
+  if (policy.min_samples < 1) {
+    throw ConfigError("HedgeController: min_samples must be >= 1, got " +
+                      std::to_string(policy.min_samples));
+  }
+}
+
+void HedgeController::observe(double service_seconds) {
+  histogram_.add(service_seconds);
+}
+
+std::optional<double> HedgeController::delay() const {
+  if (!policy_.enabled) return std::nullopt;
+  if (histogram_.count() < policy_.min_samples) return std::nullopt;
+  return std::max(policy_.min_delay,
+                  policy_.factor * histogram_.quantile(policy_.quantile));
+}
+
+bool HedgeController::should_hedge(double service_seconds) const {
+  const auto hedge_delay = delay();
+  return hedge_delay.has_value() && service_seconds > *hedge_delay;
+}
+
+}  // namespace dcn::serve

@@ -32,6 +32,13 @@ std::vector<Request> BoundedQueue::pop(std::size_t max_count) {
   return out;
 }
 
+Request BoundedQueue::take() {
+  DCN_CHECK(!queue_.empty()) << "take() on empty queue";
+  Request request = queue_.front();
+  queue_.pop_front();
+  return request;
+}
+
 const Request& BoundedQueue::front() const {
   DCN_CHECK(!queue_.empty()) << "front() on empty queue";
   return queue_.front();

@@ -28,6 +28,9 @@ class BoundedQueue {
   /// Pop up to `max_count` requests in arrival order.
   std::vector<Request> pop(std::size_t max_count);
 
+  /// Pop exactly the oldest request (requires !empty()).
+  Request take();
+
   std::size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
   std::size_t capacity() const { return capacity_; }

@@ -1,24 +1,46 @@
-// SLO-aware dynamic-batching inference server on the virtual clock.
+// SLO-aware, self-healing dynamic-batching inference fleet on the virtual
+// clock.
 //
 // A discrete-event simulation of a deployed serving stack: an open-loop
 // arrival trace feeds a bounded admission queue; the dynamic batcher cuts
-// batches (size- or timeout-triggered); batches dispatch round-robin to N
-// model replicas, each owning its own simgpu::Device + ios::ResilientSession
-// so injected faults are absorbed by retry/device-reset recovery without
-// losing accepted requests. Every request ends in exactly one
-// CompletionRecord (completed, rejected at admission, expired in queue, or
-// failed after the retry budget), and the report aggregates tail latency
-// (streaming histogram p50/p95/p99), throughput, reject rate, and SLO
-// attainment.
+// batches (size- or timeout-triggered, dropping already-expired requests at
+// formation); batches dispatch to the healthiest free replica, each replica
+// owning its own simgpu::Device + ios::ResilientSession so injected faults
+// are absorbed by retry/device-reset recovery without losing accepted
+// requests.
+//
+// On top of the PR-4 serving core sits the fleet self-healing layer
+// (DESIGN.md "Fleet failure model & self-healing"):
+//   - chaos faults: per-replica FaultPlans carrying replica deaths and
+//     straggler windows (materialized from a seeded ChaosSchedule);
+//   - health: a HealthMonitor tracks healthy/suspect/dead per replica with
+//     latency-EWMA straggler detection, per-replica circuit breakers, and a
+//     bounded-restart respawn policy; dispatch is health-weighted instead
+//     of round-robin;
+//   - crash re-dispatch: a batch in flight when its replica dies is
+//     re-dispatched to a survivor after a failure-detection delay, so
+//     crashes never lose accepted requests while any replica survives;
+//   - hedged requests: slow batches race a duplicate on a second free
+//     replica, first completion wins, duplicates suppressed
+//     deterministically;
+//   - load shedding: under queue pressure admitted traffic degrades to the
+//     INT8 replica pool before anything is rejected, recorded per request
+//     in the served_precision CSV column.
+//
+// Every request ends in exactly one CompletionRecord (completed, rejected
+// at admission, deadline-expired, or failed), and the report aggregates
+// tail latency, throughput, SLO attainment, goodput, and the fleet's
+// availability story (deaths, respawns, recovery time).
 //
 // Determinism contract (DESIGN.md "Serving model"): the whole simulation is
-// a pure function of (graph, schedule, config, trace). Per-batch salts
-// reseed both the fault injector and the backoff jitter stream from the
-// batch *index*, so a batch's service time — including recovery — does not
-// depend on which replica runs it or on earlier batches' faults. The
-// completion log therefore reproduces byte-for-byte from a fixed seed, and
-// stays byte-identical across replica counts whenever no batch has to wait
-// for a busy replica (the light-load regime the acceptance tests pin).
+// a pure function of (graph, schedule, config, trace). Per-dispatch salts
+// reseed the fault injector and backoff jitter from the batch index (plus
+// the attempt number for crash re-dispatches and a separate channel for
+// hedges), so a batch's service time — recovery included — does not depend
+// on which replica runs it or on earlier batches' faults. The completion
+// log therefore reproduces byte-for-byte from a fixed seed, and stays
+// byte-identical across replica counts whenever no batch has to wait for a
+// busy replica (the light-load regime the acceptance tests pin).
 #pragma once
 
 #include <cstdint>
@@ -30,7 +52,11 @@
 #include "ios/executor.hpp"
 #include "profiler/recorder.hpp"
 #include "serve/batcher.hpp"
+#include "serve/chaos.hpp"
+#include "serve/health.hpp"
+#include "serve/hedge.hpp"
 #include "serve/histogram.hpp"
+#include "serve/shed.hpp"
 #include "serve/traffic.hpp"
 #include "simgpu/faults.hpp"
 #include "simgpu/spec.hpp"
@@ -38,10 +64,10 @@
 namespace dcn::serve {
 
 enum class RequestStatus {
-  kCompleted,  // served; latency and deadline_met are meaningful
-  kRejected,   // shed at admission (queue full)
-  kExpired,    // admitted, but its deadline passed before dispatch
-  kFailed,     // its batch exhausted the retry budget on a fatal fault
+  kCompleted,        // served; latency and deadline_met are meaningful
+  kRejected,         // shed at admission (queue full)
+  kDeadlineExpired,  // admitted, but its deadline passed before service
+  kFailed,           // lost: retry budget exhausted, or the whole fleet died
 };
 
 const char* request_status_name(RequestStatus status);
@@ -57,17 +83,35 @@ struct CompletionRecord {
   std::int64_t batch = -1;
   /// Served requests in that batch (0 when never dispatched).
   int batch_size = 0;
-  /// Replica that ran the batch (-1 when never dispatched).
+  /// Replica whose completion won (-1 when never dispatched).
   int replica = -1;
   /// Batch cut instant (= service start; 0 when never dispatched).
   double dispatch = 0.0;
-  /// Device time the batch took, retries and backoff included.
+  /// Time from dispatch to the winning completion, retries, backoff, and
+  /// straggler slowdown included.
   double service = 0.0;
   /// Instant the request left the system (rejection/expiry instant for
   /// non-served requests).
   double completion = 0.0;
   double deadline = std::numeric_limits<double>::infinity();
   bool deadline_met = false;
+  /// Precision of the replica whose completion won (meaningful only for
+  /// completed requests; the CSV renders "-" otherwise).
+  simgpu::Precision precision = simgpu::Precision::kFp32;
+  /// Whether a hedge raced for this request's batch.
+  bool hedged = false;
+  /// Dispatch attempts for the batch (1 + crash re-dispatches).
+  int dispatch_attempts = 0;
+};
+
+/// Fleet self-healing configuration (all mitigations off by default — the
+/// PR-4 serving behaviour — except health tracking, which is always on).
+struct FleetOptions {
+  HealthPolicy health;
+  HedgePolicy hedge;
+  ShedPolicy shed;
+  /// Seeded fleet-level fault schedule (crash storms, straggler waves).
+  ChaosConfig chaos;
 };
 
 /// Aggregate serving metrics for one trace.
@@ -75,7 +119,7 @@ struct ServingReport {
   std::int64_t offered = 0;
   std::int64_t admitted = 0;
   std::int64_t rejected = 0;
-  std::int64_t expired = 0;
+  std::int64_t deadline_expired = 0;
   std::int64_t failed = 0;
   std::int64_t completed = 0;
 
@@ -103,6 +147,30 @@ struct ServingReport {
   int transient_retries = 0;
   int reinitializations = 0;
 
+  // --- Fleet self-healing --------------------------------------------------
+  /// Replica crashes observed (initial kills + failed restart attempts).
+  std::int64_t deaths = 0;
+  std::int64_t respawn_attempts = 0;
+  std::int64_t respawns = 0;
+  /// Replicas permanently lost (dead with the respawn budget spent).
+  int replicas_lost = 0;
+  /// Batches re-dispatched after their replica died mid-service.
+  std::int64_t crash_redispatches = 0;
+  std::int64_t hedges_launched = 0;
+  std::int64_t hedges_won = 0;
+  /// Redundant hedge completions discarded (both primary and hedge
+  /// finished; exactly one CompletionRecord survives).
+  std::int64_t duplicates_suppressed = 0;
+  /// Completed requests served at a non-primary precision (the INT8
+  /// degraded pool); reconciles with the served_precision CSV column.
+  std::int64_t degraded_served = 0;
+  std::int64_t shed_degrade_entries = 0;
+  double degraded_seconds = 0.0;
+  /// Span of the fleet's health-transition log (first to last transition,
+  /// virtual seconds): how long the fleet churned before settling. 0 for a
+  /// fault-free run.
+  double time_to_recovery = 0.0;
+
   double reject_rate() const {
     return offered == 0 ? 0.0
                         : static_cast<double>(rejected) /
@@ -112,6 +180,13 @@ struct ServingReport {
     return slo_tracked == 0 ? 1.0
                             : static_cast<double>(slo_met) /
                                   static_cast<double>(slo_tracked);
+  }
+  /// Useful work per second: completions inside their deadline over the
+  /// makespan (equals throughput when every request has no deadline).
+  double goodput() const {
+    if (makespan <= 0.0) return 0.0;
+    return static_cast<double>(slo_tracked == 0 ? completed : slo_met) /
+           makespan;
   }
 
   /// Human-readable metrics block (the serving analog of render_report).
@@ -132,9 +207,11 @@ struct ServerConfig {
   std::vector<simgpu::Precision> replica_precisions;
   simgpu::DeviceSpec device;
   ios::ResilientOptions resilient;
-  /// Base fault plan; re-armed before every dispatched batch with a seed
-  /// mixed from (plan.seed, batch index). Empty = fault-free serving.
+  /// Base transient fault plan; re-armed before every dispatch with a seed
+  /// mixed from (plan.seed, dispatch salt). Empty = no transient faults.
   simgpu::FaultPlan faults;
+  /// Fleet self-healing layer (health, hedging, shedding, chaos).
+  FleetOptions fleet;
 };
 
 class Server {
@@ -142,7 +219,7 @@ class Server {
   /// `graph` must outlive the server. Replicas are constructed and
   /// initialized here (library load + weight upload on each private
   /// device), so serve() starts from a warm fleet. Throws ConfigError for
-  /// replicas < 1.
+  /// replicas < 1 or an inconsistent fleet configuration.
   Server(const graph::Graph& graph, ios::Schedule schedule,
          ServerConfig config, profiler::Recorder* recorder = nullptr);
   ~Server();
@@ -159,6 +236,9 @@ class Server {
   /// serve()).
   const std::vector<CompletionRecord>& log() const { return log_; }
 
+  /// Fleet health-transition log, in fire order (valid after serve()).
+  const std::vector<HealthTransition>& health_transitions() const;
+
   /// Canonical byte-stable CSV rendering of a completion log: integral
   /// nanosecond timestamps, no replica column (see CompletionRecord).
   static std::string log_to_csv(const std::vector<CompletionRecord>& log);
@@ -171,6 +251,7 @@ class Server {
   ServerConfig config_;
   profiler::Recorder* recorder_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  std::unique_ptr<HealthMonitor> monitor_;
   std::vector<CompletionRecord> log_;
   bool served_ = false;
 };

@@ -1,5 +1,7 @@
 #include "simgpu/faults.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "core/error.hpp"
@@ -18,6 +20,10 @@ const char* fault_kind_name(FaultKind kind) {
       return "alloc_failure";
     case FaultKind::kSyncHang:
       return "sync_hang";
+    case FaultKind::kReplicaDeath:
+      return "replica_death";
+    case FaultKind::kStraggler:
+      return "straggler";
   }
   return "unknown";
 }
@@ -42,6 +48,60 @@ FaultPlan& FaultPlan::fail_after(FaultKind kind, double after_time,
   return *this;
 }
 
+FaultPlan& FaultPlan::die_after(double after_time, int max_fires) {
+  FaultRule rule;
+  rule.kind = FaultKind::kReplicaDeath;
+  rule.after_time = after_time;
+  rule.max_fires = max_fires;
+  rules.push_back(rule);
+  return *this;
+}
+
+FaultPlan& FaultPlan::straggle(double onset, double duration, double factor) {
+  DCN_CHECK(factor >= 1.0) << "straggler factor " << factor;
+  FaultRule rule;
+  rule.kind = FaultKind::kStraggler;
+  rule.after_time = onset;
+  rule.duration = duration;
+  rule.slowdown_factor = factor;
+  rules.push_back(rule);
+  return *this;
+}
+
+double FaultPlan::death_time() const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const FaultRule& rule : rules) {
+    if (rule.kind == FaultKind::kReplicaDeath && rule.after_time >= 0.0) {
+      earliest = std::min(earliest, rule.after_time);
+    }
+  }
+  return earliest;
+}
+
+int FaultPlan::death_budget() const {
+  const double earliest = death_time();
+  for (const FaultRule& rule : rules) {
+    if (rule.kind == FaultKind::kReplicaDeath &&
+        rule.after_time == earliest) {
+      return rule.max_fires;
+    }
+  }
+  return 0;
+}
+
+double FaultPlan::straggler_factor(double now) const {
+  double factor = 1.0;
+  for (const FaultRule& rule : rules) {
+    if (rule.kind != FaultKind::kStraggler || rule.after_time < 0.0) continue;
+    if (now < rule.after_time) continue;
+    if (rule.duration > 0.0 && now >= rule.after_time + rule.duration) {
+      continue;
+    }
+    factor = std::max(factor, rule.slowdown_factor);
+  }
+  return factor;
+}
+
 FaultPlan& FaultPlan::fail_with_probability(FaultKind kind, double probability,
                                             int max_fires) {
   DCN_CHECK(probability >= 0.0 && probability <= 1.0)
@@ -62,10 +122,12 @@ FaultKind parse_kind(const std::string& name) {
   if (name == "memcpy_slow") return FaultKind::kMemcpySlowdown;
   if (name == "alloc") return FaultKind::kAllocFailure;
   if (name == "sync_hang") return FaultKind::kSyncHang;
+  if (name == "replica_death") return FaultKind::kReplicaDeath;
+  if (name == "straggler") return FaultKind::kStraggler;
   throw ConfigError(
       "unknown fault kind '" + name +
       "' (expected launch | memcpy_corrupt | memcpy_slow | alloc | "
-      "sync_hang)");
+      "sync_hang | replica_death | straggler)");
 }
 
 double parse_number(const std::string& key, const std::string& value) {
@@ -119,12 +181,14 @@ FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
           rule.max_fires = static_cast<int>(parse_number(key, value));
         } else if (key == "factor") {
           rule.slowdown_factor = parse_number(key, value);
+        } else if (key == "dur") {
+          rule.duration = parse_number(key, value);
         } else if (key == "hang") {
           plan.hang_seconds = parse_number(key, value);
         } else {
           throw ConfigError("unknown fault key '" + key +
                             "' (expected p | at | after | fires | factor | "
-                            "hang)");
+                            "dur | hang)");
         }
       }
     }

@@ -33,9 +33,15 @@ enum class FaultKind {
   kMemcpySlowdown,
   kAllocFailure,
   kSyncHang,
+  // Fleet-level faults (DESIGN.md "Fleet failure model"): consumed by the
+  // serving layer's HealthMonitor rather than by the Device's per-op
+  // injector, since they describe whole-replica lifecycle, not one API call.
+  kReplicaDeath,  // replica crashes at after_time; max_fires != 1 means the
+                  // crash re-fires on every restart attempt (permanent loss)
+  kStraggler,     // sustained slowdown window [after_time, after_time + dur)
 };
 
-inline constexpr int kNumFaultKinds = 5;
+inline constexpr int kNumFaultKinds = 7;
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -51,8 +57,10 @@ struct FaultRule {
   std::int64_t at_op = -1;
   double after_time = -1.0;
   int max_fires = 1;
-  /// kMemcpySlowdown only: transfer-time multiplier.
+  /// kMemcpySlowdown / kStraggler: transfer- or service-time multiplier.
   double slowdown_factor = 4.0;
+  /// kStraggler only: window length from after_time (<= 0 = open-ended).
+  double duration = 0.0;
 };
 
 /// A fault the injector decided to fire.
@@ -78,12 +86,31 @@ struct FaultPlan {
   FaultPlan& fail_after(FaultKind kind, double after_time, int max_fires = 1);
   FaultPlan& fail_with_probability(FaultKind kind, double probability,
                                    int max_fires = -1);
+  /// Replica death at `after_time`. `max_fires = 1` is a one-shot crash (a
+  /// restart succeeds); any other value keeps killing the replica on every
+  /// restart attempt — -1 models a permanently lost replica.
+  FaultPlan& die_after(double after_time, int max_fires = -1);
+  /// Straggler window: all service within [onset, onset + duration) runs
+  /// `factor` times slower (duration <= 0 = open-ended).
+  FaultPlan& straggle(double onset, double duration, double factor);
+
+  // --- Fleet-level queries (pure functions of the rule list) ---------------
+
+  /// Earliest kReplicaDeath instant, +infinity when no death rule exists.
+  double death_time() const;
+  /// max_fires of the earliest death rule (0 when no death rule): how many
+  /// times the crash can fire across restart attempts (-1 = unbounded).
+  int death_budget() const;
+  /// Combined slowdown multiplier at virtual time `now`: the largest factor
+  /// among active kStraggler windows, 1.0 when none is active.
+  double straggler_factor(double now) const;
 
   /// Parse a CLI spec: semicolon-separated rules of the form
   ///   kind:key=value[,key=value...]
-  /// with kinds {launch, memcpy_corrupt, memcpy_slow, alloc, sync_hang} and
-  /// keys {p, at, after, fires, factor, hang}. Example:
-  ///   "launch:p=0.05;sync_hang:at=2,hang=0.1;memcpy_slow:at=0,factor=8"
+  /// with kinds {launch, memcpy_corrupt, memcpy_slow, alloc, sync_hang,
+  /// replica_death, straggler} and keys {p, at, after, fires, factor, dur,
+  /// hang}. Example:
+  ///   "launch:p=0.05;replica_death:after=2;straggler:after=1,dur=3,factor=6"
   /// Throws ConfigError on malformed specs.
   static FaultPlan parse(const std::string& spec, std::uint64_t seed = 0);
 };

@@ -783,7 +783,7 @@ TEST(ServePrecisionTest, MixedFleetRunsAndRecordsAllRequests) {
   const serve::ServingReport report = server.serve(trace);
   EXPECT_EQ(report.offered, static_cast<std::int64_t>(trace.size()));
   EXPECT_EQ(report.admitted,
-            report.completed + report.expired + report.failed);
+            report.completed + report.deadline_expired + report.failed);
   EXPECT_GT(report.completed, 0);
 }
 

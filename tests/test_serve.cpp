@@ -326,7 +326,7 @@ TEST(Server, AccountingIdentitiesAndOrderedLog) {
   EXPECT_EQ(report.offered, static_cast<std::int64_t>(trace.size()));
   EXPECT_EQ(report.offered, report.admitted + report.rejected);
   EXPECT_EQ(report.admitted,
-            report.completed + report.expired + report.failed);
+            report.completed + report.deadline_expired + report.failed);
   EXPECT_EQ(report.completed, report.latency.count());
   EXPECT_EQ(report.batches, report.size_flushes + report.timeout_flushes);
   EXPECT_GT(report.completed, 0);
@@ -384,9 +384,9 @@ TEST(Server, DeadlinesExpireInQueueAndSloIsTracked) {
   const ServingReport report = server.serve(trace);
   EXPECT_EQ(report.slo_tracked, report.offered - report.rejected);
   EXPECT_LT(report.slo_attainment(), 1.0);
-  EXPECT_GT(report.expired + (report.slo_tracked - report.slo_met), 0);
+  EXPECT_GT(report.deadline_expired + (report.slo_tracked - report.slo_met), 0);
   for (const CompletionRecord& r : server.log()) {
-    if (r.status == RequestStatus::kExpired) {
+    if (r.status == RequestStatus::kDeadlineExpired) {
       EXPECT_LT(r.deadline, r.completion);
       EXPECT_FALSE(r.deadline_met);
     }
@@ -416,7 +416,7 @@ TEST(Server, FaultedRunCompletesAllAdmittedRequests) {
   const ServingReport report = server.serve(trace);
   EXPECT_EQ(report.rejected, 0);  // light load: nothing shed
   EXPECT_EQ(report.failed, 0);    // retry budget absorbs every fault
-  EXPECT_EQ(report.expired, 0);
+  EXPECT_EQ(report.deadline_expired, 0);
   EXPECT_EQ(report.completed, report.admitted);
   EXPECT_GT(report.transient_retries, 0);
 }

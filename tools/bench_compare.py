@@ -9,8 +9,11 @@ possibly with one level of nesting). Metrics are classified by key name:
 
   * ``*_ms`` / ``*latency*``        lower is better, relative tolerance
   * ``*throughput*`` / ``*speedup*`` higher is better, relative tolerance
+  * ``*goodput*``                   higher is better, relative tolerance
+  * ``*recovery*``                  lower is better, relative tolerance
   * ``reject_rate``                 lower is better, absolute tolerance 0.02
   * ``slo_attainment``              higher is better, absolute tolerance 0.02
+  * ``availability``                higher is better, absolute tolerance 0.02
   * ``*_ap``                        higher is better, absolute tolerance 0.02
   * ``ap_drop_points``              lower is better, absolute tolerance 2.0
   * anything else                   informational (config echo, counts)
@@ -49,13 +52,15 @@ def classify(key):
     leaf = key.rsplit(".", 1)[-1]
     if leaf in ("reject_rate", "ap_drop_points"):
         return -1, "absolute"
-    if leaf == "slo_attainment":
+    if leaf in ("slo_attainment", "availability"):
         return +1, "absolute"
     if leaf.endswith("_ap"):
         return +1, "absolute"
+    if "recovery" in leaf:
+        return -1, "relative"
     if leaf.endswith("_ms") or "latency" in leaf:
         return -1, "relative"
-    if "throughput" in leaf or "speedup" in leaf:
+    if "throughput" in leaf or "speedup" in leaf or "goodput" in leaf:
         return +1, "relative"
     return 0, "info"
 
