@@ -9,9 +9,20 @@ namespace dcn::graph {
 OpId Graph::add_op(OpKind kind, std::string name, OpAttrs attrs,
                    std::vector<OpId> inputs, TensorDesc output) {
   const OpId id = static_cast<OpId>(nodes_.size());
-  for (OpId in : inputs) {
-    DCN_CHECK(in >= 0 && in < id)
-        << "op '" << name << "' references invalid input " << in;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const OpId in = inputs[i];
+    if (in < 0 || in >= id) {
+      throw ConfigError("op '" + name + "' references dangling input op id " +
+                        std::to_string(in) + " (existing ids are [0, " +
+                        std::to_string(id) + "))");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (inputs[j] == in) {
+        throw ConfigError("op '" + name + "' lists input op id " +
+                          std::to_string(in) +
+                          " more than once; edges must be unique");
+      }
+    }
   }
   OpNode node;
   node.id = id;
@@ -135,7 +146,12 @@ void validate_shapes(const Graph& graph) {
         if (arity != 0) fail(node, "input must have no producers");
         break;
       }
-      case OpKind::kConv2d: {
+      case OpKind::kConstant: {
+        if (arity != 0) fail(node, "constant must have no producers");
+        break;
+      }
+      case OpKind::kConv2d:
+      case OpKind::kFusedConvReLU: {
         if (arity != 1) fail(node, "conv takes one input");
         const TensorDesc in = graph.input_desc(node.id);
         if (in.dims.size() != 3 || node.output.dims.size() != 3) {
@@ -217,7 +233,8 @@ void validate_shapes(const Graph& graph) {
         }
         break;
       }
-      case OpKind::kLinear: {
+      case OpKind::kLinear:
+      case OpKind::kFusedLinearReLU: {
         if (arity != 1) fail(node, "linear takes one input");
         if (node.output.dims.size() != 1 ||
             node.output.dims[0] != node.attrs.out_features) {

@@ -23,9 +23,25 @@ enum class OpKind {
   kFlatten,
   kConcat,
   kOutput,
+  /// Producer-less node whose output was computed at optimization time
+  /// (constant folding). Materialized once alongside the weights; launches
+  /// nothing and moves no per-inference activation bytes.
+  kConstant,
+  /// Conv2d with the trailing ReLU applied in the GEMM epilogue store —
+  /// one kernel launch, no intermediate pre-activation tensor in DRAM.
+  kFusedConvReLU,
+  /// Linear with the trailing ReLU fused the same way.
+  kFusedLinearReLU,
 };
 
 const char* op_kind_name(OpKind kind);
+
+/// Whether `kind` is a fused compute op (base op + epilogue ReLU).
+bool is_fused_kind(OpKind kind);
+
+/// The compute op a fused kind wraps (kConv2d / kLinear); identity for
+/// unfused kinds.
+OpKind fused_base_kind(OpKind kind);
 
 /// Per-sample tensor extents (no batch dimension; batch is a runtime knob).
 struct TensorDesc {
@@ -63,7 +79,10 @@ struct OpNode {
   double flops(const TensorDesc& input_desc) const;
 
   /// Bytes moved per sample (activation reads + writes; float32), not
-  /// counting weights — those are charged once per kernel launch.
+  /// counting weights — those are charged once per kernel launch. Fused
+  /// kinds count only the real input read and final output write: the
+  /// pre-activation intermediate their unfused twin would round-trip
+  /// through DRAM never exists, so it must not be double-counted.
   double activation_bytes(const TensorDesc& input_desc) const;
 };
 

@@ -61,6 +61,13 @@ void append_kernel(std::string& out, const simgpu::KernelDesc& kernel) {
   // speedup is invisible in the work profile, so fp32 and int8 instances
   // of the same op would otherwise share (wrong) solutions.
   append_int(out, static_cast<std::int64_t>(kernel.precision));
+  // The fused epilogue is part of the kernel's identity too — and it is
+  // *invisible* in the work profile by design (the epilogue rides the
+  // output store for free, so a FusedConvReLU carries exactly a Conv2d's
+  // flops/bytes/threads). Without this tag a fused block and its unfused
+  // twin would collide, the same key-collision class the precision tag
+  // above fixes for fp32-vs-int8.
+  append_int(out, static_cast<std::int64_t>(kernel.epilogue));
   append_double(out, kernel.flops_per_sample);
   append_double(out, kernel.activation_bytes_per_sample);
   append_double(out, kernel.weight_bytes);

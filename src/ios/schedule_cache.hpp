@@ -84,7 +84,11 @@ class ScheduleCache {
 };
 
 /// Canonical key of one DP instance over `ops` (a block's device ops, in
-/// block order). Identical keys guarantee identical DP solutions.
+/// block order). Identical keys guarantee identical DP solutions. Each
+/// kernel contributes its category, precision, *fused-epilogue tag*, and
+/// work profile: the epilogue tag is load-bearing because a fused
+/// conv+ReLU's work profile is byte-identical to the plain conv's — only
+/// the tag separates an optimized block from its unfused twin.
 std::string block_cache_key(const graph::Graph& graph,
                             const std::vector<graph::OpId>& ops,
                             const simgpu::DeviceSpec& spec,

@@ -11,6 +11,7 @@
 #include "core/parallel.hpp"
 #include "core/retry.hpp"
 #include "graph/builder.hpp"
+#include "graph/passes.hpp"
 #include "ios/scheduler.hpp"
 
 namespace dcn::nas {
@@ -118,6 +119,10 @@ TrialMetrics profile_architecture(const detect::SppNetConfig& model,
                                   int trial_index, int attempt) {
   const graph::Graph g =
       graph::build_inference_graph(model, config.input_size);
+  // The sequential baseline stays on the naive graph; the optimized path
+  // schedules the fused graph, so "speedup" reports IOS + fusion together.
+  const graph::Graph fused =
+      config.optimize_graph ? graph::optimize_graph(g) : g;
 
   TrialMetrics metrics;
   metrics.parameter_count = model.parameter_count();
@@ -127,7 +132,7 @@ TrialMetrics profile_architecture(const detect::SppNetConfig& model,
   options.batch = config.latency_batch;
   options.precision = config.precision;
   const ios::Schedule optimized =
-      ios::optimize_schedule(g, config.device, options);
+      ios::optimize_schedule(fused, config.device, options);
 
   // One salt per (trial, attempt, schedule): retries see fresh transient
   // faults, exactly as re-running on real hardware would.
@@ -136,7 +141,7 @@ TrialMetrics profile_architecture(const detect::SppNetConfig& model,
   metrics.sequential_latency =
       measure(g, sequential, config, 2 * salt);
   metrics.optimized_latency =
-      measure(g, optimized, config, 2 * salt + 1);
+      measure(fused, optimized, config, 2 * salt + 1);
   DCN_CHECK(metrics.optimized_latency > 0.0) << "zero latency";
   metrics.throughput =
       static_cast<double>(config.latency_batch) / metrics.optimized_latency;

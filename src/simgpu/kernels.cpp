@@ -25,11 +25,23 @@ bool int8_compute_eligible(profiler::KernelCategory category) {
          category == profiler::KernelCategory::kMatMul;
 }
 
+const char* epilogue_name(Epilogue epilogue) {
+  switch (epilogue) {
+    case Epilogue::kNone:
+      return "none";
+    case Epilogue::kReLU:
+      return "relu";
+  }
+  return "none";
+}
+
 profiler::KernelCategory categorize(graph::OpKind kind) {
   switch (kind) {
     case graph::OpKind::kLinear:
+    case graph::OpKind::kFusedLinearReLU:
       return profiler::KernelCategory::kMatMul;
     case graph::OpKind::kConv2d:
+    case graph::OpKind::kFusedConvReLU:
       return profiler::KernelCategory::kConv;
     case graph::OpKind::kMaxPool:
     case graph::OpKind::kAdaptivePool:
@@ -40,13 +52,15 @@ profiler::KernelCategory categorize(graph::OpKind kind) {
     case graph::OpKind::kConcat:
     case graph::OpKind::kInput:
     case graph::OpKind::kOutput:
+    case graph::OpKind::kConstant:
       return profiler::KernelCategory::kMemory;
   }
   return profiler::KernelCategory::kMemory;
 }
 
 bool is_device_op(graph::OpKind kind) {
-  return kind != graph::OpKind::kInput && kind != graph::OpKind::kOutput;
+  return kind != graph::OpKind::kInput && kind != graph::OpKind::kOutput &&
+         kind != graph::OpKind::kConstant;
 }
 
 KernelDesc make_kernel_desc(const graph::Graph& graph, graph::OpId id,
@@ -58,6 +72,8 @@ KernelDesc make_kernel_desc(const graph::Graph& graph, graph::OpId id,
   desc.name = node.name;
   desc.category = categorize(node.kind);
   desc.precision = precision;
+  desc.epilogue = graph::is_fused_kind(node.kind) ? Epilogue::kReLU
+                                                  : Epilogue::kNone;
   if (!is_device_op(node.kind)) return desc;
 
   // 1 byte per element instead of 4 for both activations and weights; the
@@ -70,7 +86,7 @@ KernelDesc make_kernel_desc(const graph::Graph& graph, graph::OpId id,
   desc.weight_bytes =
       bytes_scale * 4.0 * static_cast<double>(node.parameter_count(input));
   desc.threads_per_sample = static_cast<double>(node.output.numel());
-  if (node.kind == graph::OpKind::kLinear) {
+  if (desc.category == profiler::KernelCategory::kMatMul) {
     // GEMM/GEMV kernels parallelize the reduction dimension too (warp-level
     // split-K); one thread per output element would drastically understate
     // their occupancy and make FC layers compute-bound instead of

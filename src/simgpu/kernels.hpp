@@ -29,10 +29,21 @@ Precision precision_from_name(const std::string& name);
 /// quarter-width memory traffic).
 bool int8_compute_eligible(profiler::KernelCategory category);
 
+/// Operation fused into a kernel's output store (the graph optimizer's
+/// FusedConvReLU / FusedLinearReLU nodes). Deliberately part of a kernel's
+/// *identity*, not its work profile: the epilogue is free in the cost model
+/// (it rides registers already being written back), which makes a fused
+/// kernel's flops/bytes/threads identical to its unfused base op's — so
+/// anything keying kernels by work profile alone would collide the two.
+enum class Epilogue { kNone = 0, kReLU = 1 };
+
+const char* epilogue_name(Epilogue epilogue);
+
 struct KernelDesc {
   std::string name;
   profiler::KernelCategory category = profiler::KernelCategory::kConv;
   Precision precision = Precision::kFp32;
+  Epilogue epilogue = Epilogue::kNone;
   /// FLOPs per sample (MAC count — precision-independent; the cost model
   /// applies the int8 throughput multiplier for eligible categories).
   double flops_per_sample = 0.0;
@@ -44,10 +55,12 @@ struct KernelDesc {
   double threads_per_sample = 0.0;
 };
 
-/// Map a graph op kind to its profiling category.
+/// Map a graph op kind to its profiling category (fused kinds categorize as
+/// their base compute op: a FusedConvReLU is still one conv-shaped launch).
 profiler::KernelCategory categorize(graph::OpKind kind);
 
-/// Whether the op launches a device kernel at all (Input/Output do not).
+/// Whether the op launches a device kernel at all (Input/Output do not;
+/// folded Constants are materialized with the weights and launch nothing).
 bool is_device_op(graph::OpKind kind);
 
 /// Build the kernel descriptor for one graph node at the given precision.

@@ -43,6 +43,29 @@ TEST(Graph, AddOpValidatesInputs) {
       dcn::Error);  // references a not-yet-existing node
 }
 
+TEST(Graph, DanglingInputIdIsConfigErrorNamingTheId) {
+  Graph g;
+  g.add_op(OpKind::kInput, "in", {}, {}, TensorDesc{{4}});
+  try {
+    g.add_op(OpKind::kReLU, "r", {}, {7}, TensorDesc{{4}});
+    FAIL() << "dangling input id accepted";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("dangling input op id 7"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Graph, DuplicateEdgeIsConfigError) {
+  Graph g;
+  const OpId in = g.add_op(OpKind::kInput, "in", {}, {}, TensorDesc{{4}});
+  // A node listing the same producer twice would double-count the edge in
+  // every downstream consumer (blocks, scheduler, executor).
+  EXPECT_THROW(
+      g.add_op(OpKind::kConcat, "c", {}, {in, in}, TensorDesc{{8}}),
+      ConfigError);
+}
+
 TEST(Graph, SuccessorsAndTopologicalOrder) {
   const Graph g = diamond_graph();
   const auto succ_a = g.successors(1);

@@ -23,6 +23,7 @@
 #include "profiler/recorder.hpp"
 #include "profiler/report.hpp"
 #include "profiler/trace.hpp"
+#include "simgpu/kernels.hpp"
 #include "simgpu/spec.hpp"
 
 namespace dcn::ios {
@@ -113,6 +114,54 @@ TEST(ScheduleCache, StructurallyIdenticalBlocksHitAcrossArchitectures) {
   const ScheduleCacheStats after_third = cache.stats();
   EXPECT_EQ(after_third.block_hits, after_second.block_hits);
   EXPECT_GT(after_third.block_misses, after_second.block_misses);
+}
+
+TEST(ScheduleCache, FusedAndUnfusedTwinsNeverShareKeys) {
+  // Regression (mirror of the cross-precision fix): a FusedConvReLU's work
+  // profile is byte-identical to the plain conv's — the ReLU rides the
+  // epilogue store for free, by design of the fused-op accounting. Before
+  // the epilogue tag landed in append_kernel, a fused block and its
+  // unfused twin collided and traded DP solutions.
+  const auto twin = [](graph::OpKind kind) {
+    graph::Graph g;
+    const graph::OpId in =
+        g.add_op(graph::OpKind::kInput, "in", {}, {},
+                 graph::TensorDesc{{8, 8, 8}});
+    graph::OpAttrs conv;
+    conv.kernel = 3;
+    conv.stride = 1;
+    conv.padding = 1;
+    conv.out_channels = 8;
+    const graph::OpId c =
+        g.add_op(kind, "conv0", conv, {in}, graph::TensorDesc{{8, 8, 8}});
+    g.add_op(graph::OpKind::kOutput, "out", {}, {c},
+             graph::TensorDesc{{8, 8, 8}});
+    return g;
+  };
+  const graph::Graph unfused = twin(graph::OpKind::kConv2d);
+  const graph::Graph fused = twin(graph::OpKind::kFusedConvReLU);
+  const simgpu::DeviceSpec spec = simgpu::a5500_spec();
+
+  // Identical work profiles: the tag is the only thing separating them.
+  const simgpu::KernelDesc plain = simgpu::make_kernel_desc(unfused, 1);
+  const simgpu::KernelDesc epi = simgpu::make_kernel_desc(fused, 1);
+  EXPECT_EQ(plain.flops_per_sample, epi.flops_per_sample);
+  EXPECT_EQ(plain.activation_bytes_per_sample,
+            epi.activation_bytes_per_sample);
+  EXPECT_EQ(plain.weight_bytes, epi.weight_bytes);
+  EXPECT_EQ(plain.threads_per_sample, epi.threads_per_sample);
+  EXPECT_EQ(plain.category, epi.category);
+  EXPECT_NE(plain.epilogue, epi.epilogue);
+
+  const std::vector<graph::OpId> ops{1};
+  const IosOptions options;
+  EXPECT_NE(block_cache_key(unfused, ops, spec, options),
+            block_cache_key(fused, ops, spec, options));
+
+  const Schedule unfused_schedule = sequential_schedule(unfused);
+  const Schedule fused_schedule = sequential_schedule(fused);
+  EXPECT_NE(cost_cache_key(unfused, spec, unfused_schedule, 1),
+            cost_cache_key(fused, spec, fused_schedule, 1));
 }
 
 TEST(ScheduleCache, KeyIsSensitiveToSpecOptionsAndBatch) {

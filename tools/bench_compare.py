@@ -8,6 +8,8 @@ Both files are the JSON exports of bench_quant / bench_serving (flat dicts,
 possibly with one level of nesting). Metrics are classified by key name:
 
   * ``*_ms`` / ``*latency*``        lower is better, relative tolerance
+  * ``*_launches``                  lower is better, relative tolerance
+  * ``*reduction*``                 higher is better, relative tolerance
   * ``*throughput*`` / ``*speedup*`` higher is better, relative tolerance
   * ``*goodput*``                   higher is better, relative tolerance
   * ``*recovery*``                  lower is better, relative tolerance
@@ -58,6 +60,10 @@ def classify(key):
         return +1, "absolute"
     if "recovery" in leaf:
         return -1, "relative"
+    if leaf.endswith("_launches"):
+        return -1, "relative"
+    if "reduction" in leaf:
+        return +1, "relative"
     if leaf.endswith("_ms") or "latency" in leaf:
         return -1, "relative"
     if "throughput" in leaf or "speedup" in leaf or "goodput" in leaf:
