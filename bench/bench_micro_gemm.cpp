@@ -7,11 +7,15 @@
 //     --benchmark_out=BENCH_gemm.json --benchmark_out_format=json).
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <string>
 #include <vector>
 
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/kernels/registry.hpp"
+#include "tensor/kernels/tuner.hpp"
 
 namespace {
 
@@ -84,6 +88,11 @@ void BM_GemmScalarBaseline(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   add_gflops(state, m, n, k);
+  // Label with the variant the blocked engine dispatches to on this CPU, so
+  // a report line "ScalarBaseline ... dispatched=avx2" says exactly which
+  // pair the speedup ratio compares.
+  state.SetLabel("dispatched=" +
+                 kernels::KernelRegistry::global().active().name);
 }
 
 // Thread-scaling sweep of the new engine; range(3) is the engine thread
@@ -204,5 +213,87 @@ void BM_GemmTransposedB(benchmark::State& state) {
 }
 
 BENCHMARK(BM_GemmTransposedB)->Arg(1)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// Per-variant A/B: the same blocked driver forced onto each compiled-in
+// SIMD variant (generic / sse41 / avx2 / avx512). Variants the executing
+// CPU cannot run are skipped with an error label instead of faulting.
+// Registered dynamically because the variant list is a build/runtime
+// property, not a compile-time constant of this file.
+void run_variant_bench(benchmark::State& state, const std::string& name,
+                       std::int64_t m, std::int64_t n, std::int64_t k) {
+  auto& registry = kernels::KernelRegistry::global();
+  if (!registry.variant_supported(name)) {
+    state.SkipWithError(("variant not supported on this CPU: " + name).c_str());
+    return;
+  }
+  kernels::KernelRegistry::ScopedForce force(name);
+  Rng rng(1);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  // Warmup outside the timed loop: the first call on a cold cache runs the
+  // autotuner, which would otherwise dominate the first iteration.
+  matmul(false, false, m, n, k, a.data(), b.data(), c.data());
+  for (auto _ : state) {
+    matmul(false, false, m, n, k, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  add_gflops(state, m, n, k);
+}
+
+// Tile sweep over every micro tile the *active* variant registers, each
+// forced through the tuner (macro blocking stays the tuner default). The
+// spread between the best and worst rows is the headroom the autotuner
+// captures; outputs are bit-identical across the whole sweep.
+void run_tile_bench(benchmark::State& state, std::int64_t mr, std::int64_t nr,
+                    std::int64_t m, std::int64_t n, std::int64_t k) {
+  kernels::TileTuner::ScopedForcedTile force(mr, nr);
+  Rng rng(1);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  matmul(false, false, m, n, k, a.data(), b.data(), c.data());
+  for (auto _ : state) {
+    matmul(false, false, m, n, k, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  add_gflops(state, m, n, k);
+}
+
+int register_kernel_benches() {
+  auto& registry = kernels::KernelRegistry::global();
+  for (const auto& name : registry.variant_names()) {
+    for (const auto& shape :
+         {std::array<std::int64_t, 3>{512, 512, 512},
+          std::array<std::int64_t, 3>{256, 625, 1152}}) {
+      const std::string bench_name =
+          "BM_GemmVariant/" + name + "/" + std::to_string(shape[0]) + "x" +
+          std::to_string(shape[1]) + "x" + std::to_string(shape[2]);
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [name, shape](benchmark::State& state) {
+            run_variant_bench(state, name, shape[0], shape[1], shape[2]);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  const auto& active = registry.active();
+  for (const auto& tile : active.sgemm) {
+    const std::string bench_name =
+        "BM_GemmTileSweep/" + active.name + "/" + std::to_string(tile.mr) +
+        "x" + std::to_string(tile.nr);
+    const std::int64_t mr = tile.mr;
+    const std::int64_t nr = tile.nr;
+    benchmark::RegisterBenchmark(bench_name.c_str(),
+                                 [mr, nr](benchmark::State& state) {
+                                   run_tile_bench(state, mr, nr, 512, 512,
+                                                  512);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}
+
+[[maybe_unused]] const int kKernelBenchesRegistered = register_kernel_benches();
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/error.hpp"
+#include "tensor/kernels/registry.hpp"
 
 namespace dcn {
 namespace {
@@ -76,6 +77,10 @@ void col2im(const float* col, const ConvGeometry& g, float* im) {
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
   const std::int64_t out_cols = oh * ow;
+  // Interior accumulation is the hot loop: dispatch the elementwise
+  // dst += src to the active SIMD variant (exact at any width).
+  const kernels::AccumulateFn accumulate =
+      kernels::KernelRegistry::global().active().accumulate;
   for (std::int64_t c = 0; c < g.channels; ++c) {
     float* im_c = im + c * g.height * g.width;
     for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
@@ -92,10 +97,7 @@ void col2im(const float* col, const ConvGeometry& g, float* im) {
           // Out-of-range taps scatter into padding: nothing to accumulate.
           const std::int64_t ix0 = ox_lo * g.stride_w - g.pad_w + kw;
           if (g.stride_w == 1) {
-            float* __restrict dst = im_row + ix0;
-            for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox) {
-              dst[ox - ox_lo] += src[ox];
-            }
+            accumulate(ox_hi - ox_lo, src + ox_lo, im_row + ix0);
           } else {
             for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox) {
               im_row[ix0 + (ox - ox_lo) * g.stride_w] += src[ox];

@@ -1,18 +1,23 @@
 #include "tensor/qgemm.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "core/error.hpp"
 #include "core/parallel.hpp"
+#include "core/time.hpp"
+#include "tensor/kernels/registry.hpp"
+#include "tensor/kernels/tuner.hpp"
 #include "tensor/workspace.hpp"
 
 namespace dcn {
 namespace {
 
-// Rows of A processed per accumulator tile: four int32 accumulator rows of
-// typical conv output width fit comfortably in L1/L2 alongside the streamed
-// B panel.
-constexpr std::int64_t kQMr = 4;
+// Largest tunable accumulator row tile (rows of A per pass over B). The
+// tuner searches {2, 4, 8}; int32 accumulation is exact, so the choice is
+// pure scheduling — it can never change the output.
+constexpr std::int64_t kQMaxMr = 8;
 // M rows per compute task. Fixed regardless of thread count so the
 // decomposition (and hence, trivially, the output) is partition-invariant.
 constexpr std::int64_t kQBandRows = 64;
@@ -36,21 +41,23 @@ inline float apply_epilogue(float x, const float* row_bias, std::int64_t row,
 
 // One band of rows [m0, m1): outer-product accumulation so the B panel is
 // streamed row-major (contiguous) and each A row is read once per K pass.
-void qgemm_band(std::int64_t m0, std::int64_t m1, std::int64_t n,
-                std::int64_t k, const std::int8_t* a, std::int64_t lda,
-                const float* a_scales, std::int64_t a_scale_count,
-                const std::uint8_t* b, std::int64_t ldb, float b_scale,
-                std::int32_t b_zp, float* c, std::int64_t ldc,
-                const QuantEpilogue& epilogue) {
+// The inner row update acc[j] += av * b[j] is the dispatched SIMD kernel;
+// qmr (rows per accumulator tile) is the tuner's scheduling choice.
+void qgemm_band(std::int64_t qmr, kernels::QgemmRowFn row_fn, std::int64_t m0,
+                std::int64_t m1, std::int64_t n, std::int64_t k,
+                const std::int8_t* a, std::int64_t lda, const float* a_scales,
+                std::int64_t a_scale_count, const std::uint8_t* b,
+                std::int64_t ldb, float b_scale, std::int32_t b_zp, float* c,
+                std::int64_t ldc, const QuantEpilogue& epilogue) {
   Workspace& ws = Workspace::tls();
   Workspace::Scope scope(ws);
-  std::int32_t* acc = ws.ints(static_cast<std::size_t>(kQMr * n));
+  std::int32_t* acc = ws.ints(static_cast<std::size_t>(qmr * n));
 
-  for (std::int64_t r0 = m0; r0 < m1; r0 += kQMr) {
-    const std::int64_t rows = std::min(kQMr, m1 - r0);
+  for (std::int64_t r0 = m0; r0 < m1; r0 += qmr) {
+    const std::int64_t rows = std::min(qmr, m1 - r0);
     std::fill(acc, acc + rows * n, 0);
     // Row sums of A fold the activation zero point out of the inner loop.
-    std::int32_t rowsum[kQMr] = {0, 0, 0, 0};
+    std::int32_t rowsum[kQMaxMr] = {};
     for (std::int64_t r = 0; r < rows; ++r) {
       const std::int8_t* arow = a + (r0 + r) * lda;
       std::int32_t sum = 0;
@@ -60,10 +67,7 @@ void qgemm_band(std::int64_t m0, std::int64_t m1, std::int64_t n,
       for (std::int64_t kk = 0; kk < k; ++kk) {
         const std::int32_t av = arow[kk];
         if (av == 0) continue;
-        const std::uint8_t* brow = b + kk * ldb;
-        for (std::int64_t j = 0; j < n; ++j) {
-          acc_row[j] += av * static_cast<std::int32_t>(brow[j]);
-        }
+        row_fn(n, av, b + kk * ldb, acc_row);
       }
     }
     for (std::int64_t r = 0; r < rows; ++r) {
@@ -79,6 +83,40 @@ void qgemm_band(std::int64_t m0, std::int64_t m1, std::int64_t n,
       }
     }
   }
+}
+
+// Times one candidate row tile on a serial synthetic band. Like the sgemm
+// probe, correctness never depends on this — integer accumulation is exact
+// at every tile.
+double measure_qgemm(const kernels::KernelVariant& variant,
+                     const kernels::TileConfig& cfg, std::int64_t m,
+                     std::int64_t n, std::int64_t k) {
+  const std::int64_t pm = std::min<std::int64_t>(m, kQBandRows);
+  const std::int64_t pn = std::min<std::int64_t>(n, 512);
+  const std::int64_t pk = std::min<std::int64_t>(k, 256);
+  std::vector<std::int8_t> a(static_cast<std::size_t>(pm * pk));
+  std::vector<std::uint8_t> b(static_cast<std::size_t>(pk * pn));
+  std::vector<float> c(static_cast<std::size_t>(pm * pn));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int8_t>(static_cast<std::int64_t>(i % 255) - 127);
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>(i % 251);
+  }
+  const float scale = 0.5f;
+  WallTimer timer;
+  qgemm_band(cfg.mr, variant.qgemm_row, 0, pm, pn, pk, a.data(), pk, &scale,
+             1, b.data(), pn, 0.25f, 3, c.data(), pn, QuantEpilogue{});
+  return timer.milliseconds();
+}
+
+std::int64_t select_row_tile(const kernels::KernelVariant& variant,
+                             std::int64_t m, std::int64_t n, std::int64_t k) {
+  const kernels::TileConfig cfg = kernels::TileTuner::global().choose(
+      variant, 'q', m, n, k, [&](const kernels::TileConfig& c) {
+        return measure_qgemm(variant, c, m, n, k);
+      });
+  return std::clamp<std::int64_t>(cfg.mr, 1, kQMaxMr);
 }
 
 }  // namespace
@@ -101,13 +139,17 @@ void qgemm(std::int64_t m, std::int64_t n, std::int64_t k,
     }
     return;
   }
+  const kernels::KernelVariant& variant =
+      kernels::KernelRegistry::global().active();
+  const std::int64_t qmr = select_row_tile(variant, m, n, k);
   const auto bands =
       static_cast<int>((m + kQBandRows - 1) / kQBandRows);
   run_compute_tasks(bands, [&](int band) {
     const std::int64_t m0 = static_cast<std::int64_t>(band) * kQBandRows;
     const std::int64_t m1 = std::min(m, m0 + kQBandRows);
-    qgemm_band(m0, m1, n, k, a, lda, a_scales, a_scale_count, b, ldb,
-               b_params.scale, b_params.zero_point, c, ldc, epilogue);
+    qgemm_band(qmr, variant.qgemm_row, m0, m1, n, k, a, lda, a_scales,
+               a_scale_count, b, ldb, b_params.scale, b_params.zero_point, c,
+               ldc, epilogue);
   });
 }
 

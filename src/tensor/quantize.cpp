@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "tensor/kernels/registry.hpp"
 
 namespace dcn {
 namespace {
@@ -44,22 +45,24 @@ QuantParams choose_quant_params(float min_value, float max_value) {
   return params;
 }
 
+// The bulk loops below dispatch to the active SIMD variant. The vector
+// kernels reproduce std::lround's ties-away rounding bit-exactly (see
+// kernels/variant_impl.hpp), so every variant quantizes identically to the
+// scalar round_clamp above — pinned by test_kernels.
 void quantize_u8(const float* src, std::int64_t n, const QuantParams& params,
                  std::uint8_t* dst) {
   const float inv_scale = 1.0f / params.scale;
   const auto zp = static_cast<float>(params.zero_point);
-  for (std::int64_t i = 0; i < n; ++i) {
-    dst[i] = static_cast<std::uint8_t>(
-        round_clamp(src[i] * inv_scale + zp, 0, 255));
-  }
+  kernels::KernelRegistry::global().active().quantize_u8(src, n, inv_scale,
+                                                         zp, dst);
 }
 
 void dequantize_u8(const std::uint8_t* src, std::int64_t n,
                    const QuantParams& params, float* dst) {
   const auto zp = static_cast<float>(params.zero_point);
-  for (std::int64_t i = 0; i < n; ++i) {
-    dst[i] = params.scale * (static_cast<float>(src[i]) - zp);
-  }
+  kernels::KernelRegistry::global().active().dequantize_u8(src, n,
+                                                           params.scale, zp,
+                                                           dst);
 }
 
 float symmetric_scale(float max_abs) {
@@ -70,10 +73,8 @@ float symmetric_scale(float max_abs) {
 void quantize_s8(const float* src, std::int64_t n, float scale,
                  std::int8_t* dst) {
   const float inv_scale = 1.0f / scale;
-  for (std::int64_t i = 0; i < n; ++i) {
-    dst[i] = static_cast<std::int8_t>(
-        round_clamp(src[i] * inv_scale, -127, 127));
-  }
+  kernels::KernelRegistry::global().active().quantize_s8(src, n, inv_scale,
+                                                         dst);
 }
 
 namespace {

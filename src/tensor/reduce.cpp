@@ -3,15 +3,31 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "tensor/kernels/registry.hpp"
 
 namespace dcn {
+namespace {
 
-double sum(const Tensor& a) {
-  double acc = 0.0;
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) acc += a[i];
-  return acc;
+// Four independent double accumulators: breaks the serial add dependency so
+// the compiler can pipeline/vectorize. Lanes are merged in fixed order, so
+// the result is deterministic (though grouped differently from a single
+// serial chain — callers get double precision, not a pinned bit pattern).
+double sum_span(const float* p, std::int64_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += p[i];
+    acc1 += p[i + 1];
+    acc2 += p[i + 2];
+    acc3 += p[i + 3];
+  }
+  for (; i < n; ++i) acc0 += p[i];
+  return ((acc0 + acc1) + acc2) + acc3;
 }
+
+}  // namespace
+
+double sum(const Tensor& a) { return sum_span(a.data(), a.numel()); }
 
 double mean(const Tensor& a) {
   DCN_CHECK(a.numel() > 0) << "mean of empty tensor";
@@ -20,32 +36,27 @@ double mean(const Tensor& a) {
 
 float max_value(const Tensor& a) {
   DCN_CHECK(a.numel() > 0) << "max of empty tensor";
-  float mx = a[0];
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 1; i < n; ++i) mx = std::max(mx, a[i]);
-  return mx;
+  return kernels::KernelRegistry::global().active().reduce_max(a.data(),
+                                                               a.numel());
 }
 
 float min_value(const Tensor& a) {
   DCN_CHECK(a.numel() > 0) << "min of empty tensor";
-  float mn = a[0];
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 1; i < n; ++i) mn = std::min(mn, a[i]);
-  return mn;
+  return kernels::KernelRegistry::global().active().reduce_min(a.data(),
+                                                               a.numel());
 }
 
 std::pair<float, std::int64_t> argmax(const Tensor& a) {
   DCN_CHECK(a.numel() > 0) << "argmax of empty tensor";
-  float mx = a[0];
-  std::int64_t idx = 0;
+  // Vectorized max, then a scan for its first position — preserves the
+  // scalar loop's first-occurrence semantics (and its all-NaN behaviour:
+  // the max is then a[0] and the scan falls through to index 0).
+  const float mx = max_value(a);
   const std::int64_t n = a.numel();
-  for (std::int64_t i = 1; i < n; ++i) {
-    if (a[i] > mx) {
-      mx = a[i];
-      idx = i;
-    }
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (a[i] == mx) return {mx, i};
   }
-  return {mx, idx};
+  return {mx, 0};
 }
 
 Tensor row_sums(const Tensor& a) {
@@ -54,10 +65,7 @@ Tensor row_sums(const Tensor& a) {
   const std::int64_t cols = a.dim(1);
   Tensor out(Shape{rows});
   for (std::int64_t r = 0; r < rows; ++r) {
-    double acc = 0.0;
-    const float* p = a.data() + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) acc += p[c];
-    out[r] = static_cast<float>(acc);
+    out[r] = static_cast<float>(sum_span(a.data() + r * cols, cols));
   }
   return out;
 }

@@ -8,7 +8,7 @@
 namespace dcn {
 namespace {
 
-constexpr std::size_t kAlign = 64;  // cache line; also AVX-512 vector width
+constexpr std::size_t kAlign = Workspace::kAlignment;
 constexpr std::size_t kMinBlockFloats = 1 << 14;  // 64 KiB
 
 // Round allocations to a multiple of the alignment so consecutive

@@ -30,6 +30,11 @@ namespace dcn {
 /// runs out of a single contiguous allocation.
 class Workspace {
  public:
+  /// Alignment of every pointer the arena hands out: one cache line, which
+  /// is also the widest (AVX-512) vector. The SIMD micro kernels rely on
+  /// this for their packed A/B panels; test_workspace pins it.
+  static constexpr std::size_t kAlignment = 64;
+
   Workspace() = default;
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
