@@ -40,6 +40,13 @@ struct Tile {
 
 /// Overlapping tile grid covering a rows x cols scene. `overlap` is the
 /// fraction of the tile side shared between neighbors (0 = edge to edge).
+///
+/// Edge behavior is pinned (the scan cascade's coverage accounting depends
+/// on it): when the scene size minus the tile size is not a multiple of
+/// the stride, the last row/column of tiles *clamps into bounds*
+/// (tile.row = rows - tile_size) instead of padding past the border —
+/// every tile reads real pixels only, the full scene is covered, and the
+/// clamped edge tile appears exactly once (no duplicate grid positions).
 std::vector<Tile> make_tiles(std::int64_t rows, std::int64_t cols,
                              std::int64_t tile_size, double overlap,
                              const GeoTransform& transform);

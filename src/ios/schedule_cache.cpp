@@ -74,6 +74,29 @@ void append_kernel(std::string& out, const simgpu::KernelDesc& kernel) {
   append_double(out, kernel.threads_per_sample);
 }
 
+// Concrete tensor geometry of one op: each input's dims, then the output
+// dims. The cost profile alone is not a sound identity — distinct shapes
+// can read identical (flops, bytes, threads) tuples: a MaxPool(k=2) over
+// [4, 8, 8] and one over [16, 4, 4] move the same element counts, so
+// append_kernel renders them byte-identical. With one model in flight such
+// twins are a curiosity; a two-model pipeline (the scan cascade's tiny
+// screener next to the full SPP-Net, same block structure at different
+// widths) makes them routine, and a shared solution would carry one
+// model's stage partition onto the other's kernels. Shapes are therefore
+// part of the key.
+void append_shapes(std::string& out, const graph::Graph& graph,
+                   graph::OpId id) {
+  const graph::OpNode& node = graph.node(id);
+  for (graph::OpId in : node.inputs) {
+    out += 'i';
+    for (const std::int64_t dim : graph.node(in).output.dims) {
+      append_int(out, dim);
+    }
+  }
+  out += 'o';
+  for (const std::int64_t dim : node.output.dims) append_int(out, dim);
+}
+
 }  // namespace
 
 std::string block_cache_key(const graph::Graph& graph,
@@ -92,6 +115,7 @@ std::string block_cache_key(const graph::Graph& graph,
   for (std::size_t i = 0; i < ops.size(); ++i) {
     append_kernel(key,
                   simgpu::make_kernel_desc(graph, ops[i], options.precision));
+    append_shapes(key, graph, ops[i]);
     // Block-local dependency structure (edges from outside the block do
     // not constrain the DP and are omitted).
     key += 'p';
@@ -121,6 +145,7 @@ std::string cost_cache_key(const graph::Graph& graph,
       key += 'g';
       for (graph::OpId id : group.ops) {
         append_kernel(key, simgpu::make_kernel_desc(graph, id, precision));
+        append_shapes(key, graph, id);
       }
     }
   }

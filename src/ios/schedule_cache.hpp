@@ -85,10 +85,13 @@ class ScheduleCache {
 
 /// Canonical key of one DP instance over `ops` (a block's device ops, in
 /// block order). Identical keys guarantee identical DP solutions. Each
-/// kernel contributes its category, precision, *fused-epilogue tag*, and
-/// work profile: the epilogue tag is load-bearing because a fused
-/// conv+ReLU's work profile is byte-identical to the plain conv's — only
-/// the tag separates an optimized block from its unfused twin.
+/// kernel contributes its category, precision, *fused-epilogue tag*, work
+/// profile, and *concrete tensor shapes*: the epilogue tag is load-bearing
+/// because a fused conv+ReLU's work profile is byte-identical to the plain
+/// conv's, and the shapes are load-bearing because distinct geometries can
+/// read identical cost tuples (a MaxPool over [4,8,8] vs one over [16,4,4])
+/// — routine once two models of the same block structure share the cache,
+/// as the scan cascade's screener + full SPP-Net do.
 std::string block_cache_key(const graph::Graph& graph,
                             const std::vector<graph::OpId>& ops,
                             const simgpu::DeviceSpec& spec,

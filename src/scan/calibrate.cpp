@@ -1,0 +1,89 @@
+#include "scan/calibrate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace dcn::scan {
+
+CalibrationResult calibrate_threshold(const std::vector<TileScore>& scores,
+                                      const CalibratorOptions& options) {
+  if (scores.empty()) {
+    throw ConfigError("calibrate_threshold: no tile scores");
+  }
+  for (const TileScore& score : scores) {
+    if (!score.full_evaluated) {
+      throw ConfigError(
+          "calibrate_threshold: tile " + std::to_string(score.tile) +
+          " has no full-model score; calibrate on an evaluate_all scan");
+    }
+  }
+
+  CalibrationResult result;
+  result.full_ap = full_average_precision(scores);
+  const double floor = result.full_ap - options.max_ap_drop_points / 100.0;
+
+  // Candidate thresholds: 0 plus each distinct observed screener
+  // confidence, ascending. Evaluating at the stored values keeps the
+  // `>=` comparison exact and covers every distinct survivor set.
+  std::vector<double> candidates;
+  candidates.reserve(scores.size() + 1);
+  candidates.push_back(0.0);
+  for (const TileScore& score : scores) {
+    candidates.push_back(static_cast<double>(score.screener_confidence));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  const auto total = static_cast<double>(scores.size());
+  bool have_chosen = false;
+  for (const double threshold : candidates) {
+    OperatingPoint point;
+    point.threshold = threshold;
+    std::int64_t survivors = 0;
+    for (const TileScore& score : scores) {
+      if (static_cast<double>(score.screener_confidence) >= threshold) {
+        ++survivors;
+      }
+    }
+    point.survivor_fraction = static_cast<double>(survivors) / total;
+    point.cascade_ap = cascade_average_precision(scores, threshold);
+    point.cost_per_tile = options.stage1_cost_per_tile +
+                          point.survivor_fraction *
+                              options.stage2_cost_per_tile;
+    point.feasible = point.cascade_ap >= floor;
+    result.sweep.push_back(point);
+    // Ascending sweep + strict improvement: cost ties keep the lowest
+    // (most conservative) feasible threshold.
+    if (point.feasible &&
+        (!have_chosen || point.cost_per_tile < result.chosen.cost_per_tile)) {
+      result.chosen = point;
+      have_chosen = true;
+    }
+  }
+  // Threshold 0 rejects nothing, so cascade AP == full AP there and the
+  // feasible set cannot be empty for any non-negative drop budget.
+  DCN_CHECK(have_chosen) << "calibrator found no feasible operating point";
+  return result;
+}
+
+std::string sweep_to_csv(const CalibrationResult& result) {
+  std::string out =
+      "threshold,cascade_ap,survivor_fraction,cost_per_tile,feasible,"
+      "chosen\n";
+  char buffer[160];
+  for (const OperatingPoint& point : result.sweep) {
+    const bool chosen = point.threshold == result.chosen.threshold;
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.9g,%.6f,%.6f,%.9g,%d,%d\n", point.threshold,
+                  point.cascade_ap, point.survivor_fraction,
+                  point.cost_per_tile, point.feasible ? 1 : 0,
+                  chosen ? 1 : 0);
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace dcn::scan

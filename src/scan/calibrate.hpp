@@ -1,0 +1,67 @@
+// Accuracy-constrained threshold calibration for the scan cascade.
+//
+// The cascade's knob is the stage-1 confidence threshold: raise it and
+// fewer tiles pay for full-model inference, but past some point the
+// screener starts rejecting true crossings and the cascade's AP falls.
+// The calibrator makes the paper's constrained-optimization move (§5.4,
+// max e(n) s.t. a(n) > A) at deployment time: sweep every achievable
+// operating point on a seeded validation watershed, keep the ones whose
+// cascade AP stays within `max_ap_drop_points` of the full model's own AP
+// on the same tiles, and pick the cheapest.
+//
+// Contract:
+//  - the sweep's candidate thresholds are 0 plus every distinct screener
+//    confidence observed (ascending), so each distinct survivor set is
+//    evaluated exactly once and the comparison `screener_conf >= t` is
+//    exact (candidates are the stored float values, not a grid);
+//  - cost per tile is stage1 + survivor_fraction x stage2 (stage costs
+//    come from the caller, e.g. ios::measure_latency / batch);
+//  - threshold 0 keeps every tile, so its cascade AP equals the full
+//    model's and the feasible set is never empty;
+//  - ties on cost resolve to the *lowest* threshold (the conservative
+//    operating point), making the choice a deterministic pure function of
+//    the scores.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scan/cascade.hpp"
+
+namespace dcn::scan {
+
+struct CalibratorOptions {
+  /// Accuracy constraint: cascade AP may trail the full model's AP on the
+  /// validation watershed by at most this many points.
+  double max_ap_drop_points = 1.0;
+  /// Virtual per-tile cost of screening (seconds; every tile pays it).
+  double stage1_cost_per_tile = 1.0;
+  /// Virtual per-tile cost of full-model confirmation (survivors only).
+  double stage2_cost_per_tile = 10.0;
+};
+
+struct OperatingPoint {
+  double threshold = 0.0;
+  double cascade_ap = 0.0;
+  double survivor_fraction = 0.0;
+  double cost_per_tile = 0.0;
+  bool feasible = false;
+};
+
+struct CalibrationResult {
+  /// Full-model AP on the validation tiles (the constraint's reference).
+  double full_ap = 0.0;
+  OperatingPoint chosen;
+  std::vector<OperatingPoint> sweep;  // ascending threshold
+};
+
+/// Sweep and choose. `scores` must come from an evaluate_all scan (every
+/// tile carries a full-model confidence); throws ConfigError otherwise.
+CalibrationResult calibrate_threshold(const std::vector<TileScore>& scores,
+                                      const CalibratorOptions& options);
+
+/// Byte-stable CSV of the sweep (one row per operating point, chosen
+/// flagged).
+std::string sweep_to_csv(const CalibrationResult& result);
+
+}  // namespace dcn::scan

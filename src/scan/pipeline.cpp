@@ -1,0 +1,109 @@
+#include "scan/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace dcn::scan {
+namespace {
+
+// A scan is bounded offline work: size the admission queue to hold it
+// all so the drain regime never sheds tiles (rejecting part of a survey
+// would be a correctness bug, not load management).
+serve::ServerConfig sized_for(const StagePlan& plan, std::int64_t tiles) {
+  serve::ServerConfig config = plan.server;
+  config.queue_capacity = std::max(
+      config.queue_capacity, static_cast<std::size_t>(tiles) + 1);
+  return config;
+}
+
+}  // namespace
+
+std::vector<serve::Request> tile_trace(std::int64_t tiles, double rate) {
+  std::vector<serve::Request> trace;
+  trace.reserve(static_cast<std::size_t>(tiles));
+  for (std::int64_t i = 0; i < tiles; ++i) {
+    serve::Request request;
+    request.id = i;
+    request.arrival = rate > 0.0 ? static_cast<double>(i) / rate : 0.0;
+    request.deadline = std::numeric_limits<double>::infinity();
+    trace.push_back(request);
+  }
+  return trace;
+}
+
+CascadeServingReport simulate_cascade_serving(
+    const StagePlan& stage1, const StagePlan& stage2,
+    const std::vector<bool>& survived, double ingest_rate,
+    profiler::Recorder* recorder) {
+  DCN_CHECK(stage1.graph != nullptr && stage2.graph != nullptr)
+      << "stage plans need graphs";
+  const auto tiles = static_cast<std::int64_t>(survived.size());
+  CascadeServingReport report;
+  report.tiles = tiles;
+
+  serve::Server screener(*stage1.graph, stage1.schedule,
+                         sized_for(stage1, tiles), recorder);
+  report.stage1 = screener.serve(tile_trace(tiles, ingest_rate));
+  report.stage1_csv = serve::Server::log_to_csv(screener.log());
+
+  // Survivors arrive at stage 2 the instant stage 1 completes them. The
+  // log is id-sorted (= tile order); re-sort survivors by (completion,
+  // tile) and re-issue dense ids to satisfy the Server trace contract.
+  struct Handoff {
+    double completion = 0.0;
+    std::int64_t tile = 0;
+  };
+  std::vector<Handoff> handoffs;
+  for (const serve::CompletionRecord& record : screener.log()) {
+    if (record.status != serve::RequestStatus::kCompleted) continue;
+    const auto tile = static_cast<std::size_t>(record.id);
+    if (tile >= survived.size() || !survived[tile]) continue;
+    handoffs.push_back({record.completion, record.id});
+  }
+  std::sort(handoffs.begin(), handoffs.end(),
+            [](const Handoff& a, const Handoff& b) {
+              if (a.completion != b.completion) {
+                return a.completion < b.completion;
+              }
+              return a.tile < b.tile;
+            });
+  report.survivors = static_cast<std::int64_t>(handoffs.size());
+
+  std::vector<serve::Request> confirm_trace;
+  confirm_trace.reserve(handoffs.size());
+  for (std::size_t i = 0; i < handoffs.size(); ++i) {
+    serve::Request request;
+    request.id = static_cast<std::int64_t>(i);
+    request.arrival = handoffs[i].completion;
+    request.deadline = std::numeric_limits<double>::infinity();
+    confirm_trace.push_back(request);
+  }
+  serve::Server full(*stage2.graph, stage2.schedule,
+                     sized_for(stage2, report.survivors), recorder);
+  report.stage2 = full.serve(confirm_trace);
+  report.stage2_csv = serve::Server::log_to_csv(full.log());
+
+  report.makespan = std::max(report.stage1.makespan, report.stage2.makespan);
+  if (report.makespan > 0.0) {
+    report.tiles_per_sec = static_cast<double>(tiles) / report.makespan;
+  }
+  return report;
+}
+
+serve::ServingReport simulate_single_stage(const StagePlan& stage,
+                                           std::int64_t tiles,
+                                           double ingest_rate,
+                                           std::string* csv,
+                                           profiler::Recorder* recorder) {
+  DCN_CHECK(stage.graph != nullptr) << "stage plan needs a graph";
+  serve::Server server(*stage.graph, stage.schedule,
+                       sized_for(stage, tiles), recorder);
+  const serve::ServingReport report =
+      server.serve(tile_trace(tiles, ingest_rate));
+  if (csv != nullptr) *csv = serve::Server::log_to_csv(server.log());
+  return report;
+}
+
+}  // namespace dcn::scan

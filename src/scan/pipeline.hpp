@@ -1,0 +1,77 @@
+// Cascade serving pipeline: both scan stages through serve::Server.
+//
+// Timing and accuracy are deliberately separate concerns. Detection
+// results come from real tensor-engine inference (cascade.hpp) and are a
+// pure function of weights + pixels; tiles/sec comes from the serving
+// simulation on the virtual clock, where each stage is a serve::Server
+// pool — the screener pool batching large and cheap (usually int8), the
+// full-model pool serving only survivors. The pools share the profiler
+// recorder, so one chrome trace shows both stages' queue depth, batch
+// size, and occupancy side by side (ServerConfig::pool labels the
+// counter tracks).
+//
+// Stage coupling: a surviving tile's stage-2 arrival is its stage-1
+// completion instant, so stage 2 drains *while* stage 1 is still
+// screening — the pipeline's makespan is max(stage makespans), not their
+// sum. Stage-2 request ids are re-issued densely in (completion, tile)
+// order, keeping the Server's arrival-sorted increasing-id contract and
+// making the stage-2 log deterministic.
+//
+// Scan regime: a watershed scan is offline work, not open-loop traffic —
+// with ingest_rate <= 0 every tile is queued at t = 0 and the fleet
+// drains at capacity (the admission queue is sized to hold the full
+// scan; nothing is ever rejected). A positive ingest_rate instead paces
+// arrivals uniformly, the regime the replica-invariance tests use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ios/scheduler.hpp"
+#include "profiler/recorder.hpp"
+#include "serve/server.hpp"
+
+namespace dcn::scan {
+
+/// One cascade stage's serving setup. `graph` must outlive the
+/// simulation calls.
+struct StagePlan {
+  const graph::Graph* graph = nullptr;
+  ios::Schedule schedule;
+  serve::ServerConfig server;
+};
+
+struct CascadeServingReport {
+  serve::ServingReport stage1;
+  serve::ServingReport stage2;
+  /// max(stage makespans): the stages overlap in time.
+  double makespan = 0.0;
+  /// All tiles over the pipeline makespan.
+  double tiles_per_sec = 0.0;
+  std::int64_t tiles = 0;
+  std::int64_t survivors = 0;
+  /// Canonical per-stage completion logs (Server::log_to_csv).
+  std::string stage1_csv;
+  std::string stage2_csv;
+};
+
+/// Arrival trace for `tiles` requests: all at t = 0 when rate <= 0
+/// (offline drain), else uniformly paced at `rate` requests/second.
+std::vector<serve::Request> tile_trace(std::int64_t tiles, double rate);
+
+/// Simulate the cascade: stage 1 serves every tile, stage 2 serves the
+/// tiles `survived` marks true, arriving as their stage-1 completions.
+CascadeServingReport simulate_cascade_serving(
+    const StagePlan& stage1, const StagePlan& stage2,
+    const std::vector<bool>& survived, double ingest_rate,
+    profiler::Recorder* recorder = nullptr);
+
+/// Single-model baseline: every tile through one pool (the full-model
+/// scan the cascade is measured against).
+serve::ServingReport simulate_single_stage(
+    const StagePlan& stage, std::int64_t tiles, double ingest_rate,
+    std::string* csv = nullptr, profiler::Recorder* recorder = nullptr);
+
+}  // namespace dcn::scan

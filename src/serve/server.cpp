@@ -100,6 +100,13 @@ Server::Server(const graph::Graph& graph, ios::Schedule schedule,
     replica->session = std::make_unique<ios::ResilientSession>(
         graph_, schedule_, *replica->device, config_.resilient, precision);
     replica->session->initialize();
+    // The one-time library load + weight upload happen *before* the trace
+    // timeline: serve() starts from a warm fleet, as documented. Without
+    // this reset the init cost lands at t = 0 and every early request
+    // queues behind it — invisible under a streamed trace, but it
+    // dominates an offline drain (the scan cascade's regime). Respawns
+    // still pay re-initialization mid-timeline, where it belongs.
+    replica->device->reset_clocks();
     replica->free_at = replica->device->host_time();
     if (!chaos_plans.empty()) {
       replica->chaos = chaos_plans[static_cast<std::size_t>(r)];
@@ -136,7 +143,14 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
   const HealthPolicy& health = config_.fleet.health;
 
   ServingReport report;
+  report.pool = config_.pool;
+  report.replicas = config_.replicas;
   report.offered = static_cast<std::int64_t>(trace.size());
+
+  // Per-pool counter namespace: an empty pool keeps the classic "serve.*"
+  // names, so single-model deployments are unchanged byte-for-byte.
+  const std::string prefix =
+      config_.pool.empty() ? "serve." : "serve." + config_.pool + '.';
 
   const double inf = std::numeric_limits<double>::infinity();
   std::size_t next_arrival = 0;
@@ -183,8 +197,19 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
     const auto depth = static_cast<std::int64_t>(batcher.queue().size());
     report.max_queue_depth = std::max(report.max_queue_depth, depth);
     if (recorder_ != nullptr) {
-      recorder_->record_counter_sample("serve.queue_depth", t, depth);
+      recorder_->record_counter_sample(prefix + "queue_depth", t, depth);
     }
+  };
+
+  // Replicas busy (free_at in the future) at instant `t` — the occupancy
+  // track that makes cascade stage imbalance visible next to queue depth.
+  const auto sample_busy = [&](double t) {
+    if (recorder_ == nullptr) return;
+    std::int64_t busy = 0;
+    for (const auto& replica : replicas_) {
+      if (replica->free_at > t) ++busy;
+    }
+    recorder_->record_counter_sample(prefix + "busy_replicas", t, busy);
   };
 
   const auto update_shedder = [&](double t) {
@@ -195,7 +220,7 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
           shedder.degraded() ? "shed.degrade" : "shed.restore", t,
           "queue occupancy " + format_double(occupancy, 2));
       if (recorder_ != nullptr) {
-        recorder_->record_counter_sample("serve.shed_degraded", t,
+        recorder_->record_counter_sample(prefix + "shed_degraded", t,
                                          shedder.degraded() ? 1 : 0);
       }
     }
@@ -326,8 +351,13 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
         run_on_replica(primary, start, batch_index, attempt, 0, batch_size);
     ++dispatched_batches;
     served_requests += batch_size;
+    report.busy_seconds +=
+        (primary_out.crashed ? primary_out.crash_time : primary_out.end) -
+        start;
     if (recorder_ != nullptr) {
-      recorder_->record_counter_sample("serve.batch_size", start, batch_size);
+      recorder_->record_counter_sample(prefix + "batch_size", start,
+                                       batch_size);
+      sample_busy(start);
     }
 
     if (primary_out.crashed) {
@@ -378,6 +408,9 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
                            " hedged on replica " + std::to_string(mate));
         const ServiceOutcome hedge_out = run_on_replica(
             mate, hedge_start, batch_index, attempt, 1, batch_size);
+        report.busy_seconds +=
+            (hedge_out.crashed ? hedge_out.crash_time : hedge_out.end) -
+            hedge_start;
         if (hedge_out.crashed) {
           // The hedge replica died mid-race; the primary outcome stands,
           // so nothing is re-dispatched.
@@ -689,21 +722,29 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
                               monitor.transitions().front().time;
   }
 
-  profiler::counter_add("serve.offered", report.offered);
-  profiler::counter_add("serve.admitted", report.admitted);
-  profiler::counter_add("serve.rejected", report.rejected);
-  profiler::counter_add("serve.batches", report.batches);
-  profiler::counter_add("serve.slo_miss", report.slo_tracked - report.slo_met);
-  profiler::counter_add("serve.deaths", report.deaths);
-  profiler::counter_add("serve.respawns", report.respawns);
-  profiler::counter_add("serve.hedges", report.hedges_launched);
-  profiler::counter_add("serve.degraded_served", report.degraded_served);
+  profiler::counter_add(prefix + "offered", report.offered);
+  profiler::counter_add(prefix + "admitted", report.admitted);
+  profiler::counter_add(prefix + "rejected", report.rejected);
+  profiler::counter_add(prefix + "completed", report.completed);
+  profiler::counter_add(prefix + "batches", report.batches);
+  profiler::counter_add(prefix + "slo_miss",
+                        report.slo_tracked - report.slo_met);
+  profiler::counter_add(prefix + "deaths", report.deaths);
+  profiler::counter_add(prefix + "respawns", report.respawns);
+  profiler::counter_add(prefix + "hedges", report.hedges_launched);
+  profiler::counter_add(prefix + "degraded_served", report.degraded_served);
+  // Integer permille so the render_report counter table can carry the
+  // pool's utilization next to its throughput counters.
+  profiler::counter_add(prefix + "occupancy_permille",
+                        static_cast<std::int64_t>(
+                            std::llround(report.occupancy() * 1000.0)));
   return report;
 }
 
 std::string ServingReport::to_string() const {
   std::ostringstream os;
-  os << "Serving Statistics:\n";
+  os << "Serving Statistics" << (pool.empty() ? "" : " [pool " + pool + "]")
+     << ":\n";
   TextTable requests({"Requests", "Count", "Share"});
   requests.add_row({"offered", std::to_string(offered), "-"});
   requests.add_row({"completed", std::to_string(completed),
@@ -736,6 +777,9 @@ std::string ServingReport::to_string() const {
   latency_table.add_row(
       {"throughput", format_double(throughput, 1) + " req/s"});
   latency_table.add_row({"goodput", format_double(goodput(), 1) + " req/s"});
+  latency_table.add_row({"occupancy", format_percent(occupancy()) + " of " +
+                                          std::to_string(replicas) +
+                                          " replica(s)"});
   os << latency_table.to_string();
 
   if (slo_tracked > 0) {

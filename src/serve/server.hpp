@@ -116,6 +116,10 @@ struct FleetOptions {
 
 /// Aggregate serving metrics for one trace.
 struct ServingReport {
+  /// Pool label this server ran under (ServerConfig::pool; may be empty).
+  std::string pool;
+  /// Fleet size the occupancy denominator uses.
+  int replicas = 0;
   std::int64_t offered = 0;
   std::int64_t admitted = 0;
   std::int64_t rejected = 0;
@@ -142,6 +146,9 @@ struct ServingReport {
   /// Last completion instant, and completed / makespan.
   double makespan = 0.0;
   double throughput = 0.0;
+  /// Replica-seconds spent serving (primary + hedge dispatches; a crashed
+  /// dispatch is busy until the crash instant).
+  double busy_seconds = 0.0;
 
   /// Recovery work summed over replicas.
   int transient_retries = 0;
@@ -181,6 +188,14 @@ struct ServingReport {
                             : static_cast<double>(slo_met) /
                                   static_cast<double>(slo_tracked);
   }
+  /// Fraction of the fleet's replica-time spent serving: busy replica-
+  /// seconds over makespan x replicas. The cascade stage-imbalance signal:
+  /// a starved stage-2 pool reads near 0, a saturated stage-1 pool near 1.
+  double occupancy() const {
+    if (makespan <= 0.0 || replicas <= 0) return 0.0;
+    return busy_seconds / (makespan * static_cast<double>(replicas));
+  }
+
   /// Useful work per second: completions inside their deadline over the
   /// makespan (equals throughput when every request has no deadline).
   double goodput() const {
@@ -194,6 +209,12 @@ struct ServingReport {
 };
 
 struct ServerConfig {
+  /// Pool label for multi-model deployments (e.g. the scan cascade's
+  /// "screener" and "full" stage fleets). Non-empty labels prefix this
+  /// server's profiler counters and counter tracks as "serve.<pool>.*" so
+  /// per-pool throughput/occupancy stay distinguishable in one recorder's
+  /// chrome trace; empty keeps the classic "serve.*" names.
+  std::string pool;
   BatchPolicy batch;
   /// Admission-queue bound (reject-on-full).
   std::size_t queue_capacity = 64;

@@ -62,6 +62,34 @@ ios::Schedule schedule_for(const graph::Graph& g) {
   return ios::optimize_schedule(g, simgpu::a5500_spec());
 }
 
+// A compute-bound graph for overload tests: the fleet starts warm, so the
+// only way to back the queue up past the shed watermark is for bursts to
+// genuinely outrun service capacity. On tiny_spec this serves a few
+// hundred requests per second per replica.
+graph::Graph compute_heavy_graph() {
+  graph::Graph g;
+  const auto in = g.add_op(graph::OpKind::kInput, "in", {}, {},
+                           graph::TensorDesc{{64, 64, 64}});
+  graph::OpAttrs conv;
+  conv.kernel = 3;
+  conv.stride = 1;
+  conv.padding = 1;
+  conv.out_channels = 64;
+  auto prev = in;
+  for (int i = 0; i < 2; ++i) {
+    prev = g.add_op(graph::OpKind::kConv2d, "conv" + std::to_string(i), conv,
+                    {prev}, graph::TensorDesc{{64, 64, 64}});
+  }
+  graph::OpAttrs pool;
+  pool.pool_out = 1;
+  const auto p = g.add_op(graph::OpKind::kAdaptivePool, "pool", pool, {prev},
+                          graph::TensorDesc{{64, 1, 1}});
+  const auto f = g.add_op(graph::OpKind::kFlatten, "flat", {}, {p},
+                          graph::TensorDesc{{64}});
+  g.add_op(graph::OpKind::kOutput, "out", {}, {f}, graph::TensorDesc{{64}});
+  return g;
+}
+
 double service_seconds(const graph::Graph& g, const ios::Schedule& s,
                        std::int64_t batch) {
   simgpu::Device probe(simgpu::a5500_spec());
@@ -621,12 +649,15 @@ TEST(ChaosServe, HedgesRaceStragglersAndSuppressDuplicates) {
 // Load shedding: overload degrades admitted traffic onto the INT8 pool
 // before rejecting; served_precision reconciles with the degrade counters.
 TEST(ChaosServe, OverloadDegradesToInt8PoolBeforeRejecting) {
-  const auto g = branched_graph();
-  const auto s = schedule_for(g);
+  // Compute-bound graph on the slow device: a warm fleet of four serves
+  // ~1.5k req/s, so the 3x bursts overrun it and back the queue up past
+  // the degrade watermark.
+  const auto g = compute_heavy_graph();
+  const auto s = ios::optimize_schedule(g, simgpu::tiny_spec());
   TrafficConfig traffic;
   traffic.seed = 31;
   traffic.duration = 4.0;
-  traffic.rate = 500.0;
+  traffic.rate = 800.0;
   traffic.burst_factor = 3.0;
   traffic.burst_period = 2.0;
   traffic.burst_duty = 0.4;
@@ -636,6 +667,7 @@ TEST(ChaosServe, OverloadDegradesToInt8PoolBeforeRejecting) {
   config.batch = {8, 2.0e-3};
   config.queue_capacity = 32;
   config.replicas = 4;
+  config.device = simgpu::tiny_spec();
   config.precision = simgpu::Precision::kFp32;
   config.replica_precisions = {
       simgpu::Precision::kFp32, simgpu::Precision::kFp32,

@@ -352,7 +352,10 @@ TEST(Server, OverloadShedsAtAdmission) {
   const auto s = ios::optimize_schedule(g, simgpu::tiny_spec());
   TrafficConfig traffic;
   traffic.duration = 0.5;
-  traffic.rate = 2000.0;  // far beyond what tiny_spec can serve
+  // Far beyond what a warm tiny_spec replica can serve: the fleet no
+  // longer pays initialization on the trace timeline, so the overload
+  // has to come from the offered rate alone.
+  traffic.rate = 20000.0;
   const auto trace = generate_trace(traffic);
 
   ServerConfig config;

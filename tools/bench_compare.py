@@ -12,12 +12,14 @@ possibly with one level of nesting). Metrics are classified by key name:
   * ``*reduction*``                 higher is better, relative tolerance
   * ``*throughput*`` / ``*speedup*`` higher is better, relative tolerance
   * ``*goodput*``                   higher is better, relative tolerance
+  * ``*tiles_per_sec*``             higher is better, relative tolerance
   * ``*recovery*``                  lower is better, relative tolerance
   * ``reject_rate``                 lower is better, absolute tolerance 0.02
   * ``slo_attainment``              higher is better, absolute tolerance 0.02
   * ``availability``                higher is better, absolute tolerance 0.02
   * ``*_ap``                        higher is better, absolute tolerance 0.02
   * ``ap_drop_points``              lower is better, absolute tolerance 2.0
+  * ``ap_delta_points``             lower is better, absolute tolerance 1.0
   * anything else                   informational (config echo, counts)
 
 The default relative tolerance is 2%: a latency increase or throughput drop
@@ -42,6 +44,10 @@ ABS_TOLERANCES = {
     "reject_rate": 0.02,
     "slo_attainment": 0.02,
     "ap_drop_points": 2.0,
+    # The cascade's accuracy budget: the bench asserts <= 1.0 AP-point
+    # drop itself, and the gate holds the committed baseline to the same
+    # line so a creeping delta cannot hide behind a passing floor.
+    "ap_delta_points": 1.0,
 }
 
 
@@ -52,7 +58,7 @@ def classify(key):
     kind: "relative", "absolute", or "info".
     """
     leaf = key.rsplit(".", 1)[-1]
-    if leaf in ("reject_rate", "ap_drop_points"):
+    if leaf in ("reject_rate", "ap_drop_points", "ap_delta_points"):
         return -1, "absolute"
     if leaf in ("slo_attainment", "availability"):
         return +1, "absolute"
@@ -67,6 +73,8 @@ def classify(key):
     if leaf.endswith("_ms") or "latency" in leaf:
         return -1, "relative"
     if "throughput" in leaf or "speedup" in leaf or "goodput" in leaf:
+        return +1, "relative"
+    if "tiles_per_sec" in leaf:
         return +1, "relative"
     return 0, "info"
 
