@@ -7,24 +7,34 @@
 namespace dcn::graph {
 namespace {
 
-// Post-dominator sets over the DAG, as boolean tables. nodes are processed
-// in reverse id order, which is reverse-topological by construction
-// (Graph::add_op enforces inputs < id).
+// Post-dominator sets over the DAG, as boolean tables, computed over the
+// graph augmented with a virtual super-sink every real sink feeds. For a
+// single-sink graph this is identical to the plain construction; with
+// several sinks (a pipeline-stage subgraph cut mid-fork has one kOutput
+// per cut activation) it keeps the sets well-defined — a fork whose
+// branches never rejoin is post-dominated only by the virtual sink, which
+// extract_blocks turns into a block spanning everything the fork reaches.
+// Nodes are processed in reverse id order, which is reverse-topological by
+// construction (Graph::add_op enforces inputs < id). The virtual sink is
+// row/column n.
 std::vector<std::vector<bool>> post_dominators(const Graph& graph) {
   const std::size_t n = graph.size();
-  std::vector<std::vector<bool>> pdom(n, std::vector<bool>(n, false));
+  std::vector<std::vector<bool>> pdom(n + 1,
+                                      std::vector<bool>(n + 1, false));
+  pdom[n][n] = true;
   for (std::size_t i = n; i-- > 0;) {
     const OpId id = static_cast<OpId>(i);
     const auto succ = graph.successors(id);
+    // Intersection of successors' post-dominators (sinks have the virtual
+    // super-sink as their only successor) ...
+    std::vector<bool> inter(n + 1, true);
     if (succ.empty()) {
-      pdom[i][i] = true;
-      continue;
-    }
-    // Intersection of successors' post-dominators ...
-    std::vector<bool> inter(n, true);
-    for (OpId s : succ) {
-      for (std::size_t j = 0; j < n; ++j) {
-        inter[j] = inter[j] && pdom[static_cast<std::size_t>(s)][j];
+      inter = pdom[n];
+    } else {
+      for (OpId s : succ) {
+        for (std::size_t j = 0; j <= n; ++j) {
+          inter[j] = inter[j] && pdom[static_cast<std::size_t>(s)][j];
+        }
       }
     }
     inter[i] = true;  // ... plus the node itself.
@@ -96,8 +106,7 @@ std::vector<Block> extract_blocks(const Graph& graph) {
         break;  // ids are topological, so the first is the immediate one
       }
     }
-    DCN_CHECK(join != kInvalidOp)
-        << "fork at op " << id << " has no post-dominator";
+    DCN_CHECK(pdom[i][n]) << "fork at op " << id << " has no post-dominator";
 
     flush_linear();  // the fork node terminates the preceding linear run
 
@@ -105,15 +114,27 @@ std::vector<Block> extract_blocks(const Graph& graph) {
     block.branched = true;
     block.entry = id;
     block.exit = join;
-    // The join node itself is left to the following segment so that a join
-    // that is itself a fork still opens its own block.
     const auto fwd = reachable_from(graph, id);
-    const auto bwd = reaching(graph, join);
-    for (std::size_t j = i + 1;
-         j < static_cast<std::size_t>(join); ++j) {
-      if (fwd[j] && bwd[j] && !consumed[j]) {
-        block.ops.push_back(static_cast<OpId>(j));
-        consumed[j] = true;
+    if (join == kInvalidOp) {
+      // The branches only meet at the virtual super-sink: they end in
+      // distinct real sinks (a multi-output stage subgraph). The block is
+      // everything the fork reaches; exit stays kInvalidOp.
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (fwd[j] && !consumed[j]) {
+          block.ops.push_back(static_cast<OpId>(j));
+          consumed[j] = true;
+        }
+      }
+    } else {
+      // The join node itself is left to the following segment so that a
+      // join that is itself a fork still opens its own block.
+      const auto bwd = reaching(graph, join);
+      for (std::size_t j = i + 1;
+           j < static_cast<std::size_t>(join); ++j) {
+        if (fwd[j] && bwd[j] && !consumed[j]) {
+          block.ops.push_back(static_cast<OpId>(j));
+          consumed[j] = true;
+        }
       }
     }
     blocks.push_back(std::move(block));
@@ -133,9 +154,12 @@ std::vector<std::vector<OpId>> block_branches(const Graph& graph,
     }
     std::vector<OpId> chain;
     OpId cur = head;
+    // A block with exit == kInvalidOp never rejoins: each branch runs to
+    // its own sink instead of the shared join.
     while (cur != block.exit) {
       chain.push_back(cur);
       const auto succ = graph.successors(cur);
+      if (succ.empty() && block.exit == kInvalidOp) break;
       DCN_CHECK(succ.size() == 1)
           << "branch at op " << cur << " is not a simple chain";
       cur = succ.front();

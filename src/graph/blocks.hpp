@@ -25,7 +25,10 @@ struct Block {
   bool branched = false;
   /// Fork node feeding the block (kInvalidOp for the leading segment).
   OpId entry = kInvalidOp;
-  /// Join node consuming the block's branches (kInvalidOp for linear).
+  /// Join node consuming the block's branches. kInvalidOp for linear
+  /// segments, and for branched blocks whose branches never rejoin (a
+  /// multi-output stage subgraph cut mid-fork: each branch runs to its own
+  /// kOutput sink).
   OpId exit = kInvalidOp;
 };
 

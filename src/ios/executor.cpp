@@ -10,11 +10,13 @@ namespace dcn::ios {
 
 InferenceSession::InferenceSession(const graph::Graph& graph,
                                    Schedule schedule, simgpu::Device& device,
-                                   simgpu::Precision precision)
+                                   simgpu::Precision precision,
+                                   bool allow_weight_paging)
     : graph_(graph),
       schedule_(std::move(schedule)),
       device_(device),
-      precision_(precision) {
+      precision_(precision),
+      allow_weight_paging_(allow_weight_paging) {
   validate_schedule(graph_, schedule_);
   kernel_table_ = simgpu::make_kernel_table(graph_, precision_);
   for (const graph::OpNode& node : graph_.nodes()) {
@@ -30,19 +32,33 @@ InferenceSession::InferenceSession(const graph::Graph& graph,
 void InferenceSession::initialize() {
   if (initialized_) return;
   device_.load_library(static_cast<int>(schedule_.num_kernels()));
-  // Weights are uploaded once and stay resident.
-  const auto weight_bytes =
+  paged_weight_bytes_ = 0;
+  auto weight_bytes =
       static_cast<std::int64_t>(simgpu::total_weight_bytes(graph_));
-  if (weight_bytes > 0) {
-    device_.malloc(weight_bytes);
-    device_.memcpy_h2d(weight_bytes);
-  }
   // Activation workspace: two ping-pong buffers of the largest activation.
   std::int64_t max_activation = 0;
   for (const graph::OpNode& node : graph_.nodes()) {
     max_activation = std::max(max_activation, node.output.numel() * 4);
   }
-  device_.malloc(2 * max_activation * 64);  // sized for batch <= 64
+  const std::int64_t workspace_bytes = 2 * max_activation * 64;  // batch <= 64
+  if (allow_weight_paging_) {
+    // Keep as much of the model resident as fits next to the workspace;
+    // the overflow is re-streamed over PCIe on every run (see run()).
+    const std::int64_t capacity =
+        device_.spec().dram_bytes - device_.memory().live_bytes();
+    const std::int64_t resident_budget =
+        std::max<std::int64_t>(0, capacity - workspace_bytes);
+    if (weight_bytes > resident_budget) {
+      paged_weight_bytes_ = weight_bytes - resident_budget;
+      weight_bytes = resident_budget;
+    }
+  }
+  // Resident weights are uploaded once and stay on-device.
+  if (weight_bytes > 0) {
+    device_.malloc(weight_bytes);
+    device_.memcpy_h2d(weight_bytes);
+  }
+  device_.malloc(workspace_bytes);
   for (std::size_t s = 0; s < schedule_.max_concurrency(); ++s) {
     device_.create_stream();
   }
@@ -57,6 +73,9 @@ RunResult InferenceSession::run(std::int64_t batch) {
   }
   const double start = device_.host_time();
 
+  // Non-resident weights stream in ahead of the input on every inference —
+  // the per-run PCIe tax a device too small for the model keeps paying.
+  if (paged_weight_bytes_ > 0) device_.memcpy_h2d(paged_weight_bytes_);
   device_.memcpy_h2d(input_bytes_per_sample_ * batch);
   for (const Stage& stage : schedule_.stages) {
     std::vector<std::vector<simgpu::KernelDesc>> groups;
@@ -125,7 +144,8 @@ ResilientSession::ResilientSession(const graph::Graph& graph,
                                    Schedule schedule, simgpu::Device& device,
                                    ResilientOptions options,
                                    simgpu::Precision precision)
-    : session_(graph, std::move(schedule), device, precision),
+    : session_(graph, std::move(schedule), device, precision,
+               options.allow_weight_paging),
       device_(device),
       options_(options),
       backoff_(options.retry, options.backoff_seed) {

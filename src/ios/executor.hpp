@@ -32,9 +32,18 @@ class InferenceSession {
   /// kernel variants the session launches (int8 sessions read quarter-width
   /// weights/activations and use the device's int8 dense-math path); host
   /// I/O stays float — quantize/dequantize happen on-device.
+  ///
+  /// `allow_weight_paging` governs what happens when the model's weights do
+  /// not fit the device alongside the activation workspace: by default
+  /// initialize() throws OutOfMemoryError (the honest single-device story);
+  /// with paging enabled the session keeps what fits resident and streams
+  /// the overflow over PCIe on *every* run — the cost a whole-model replica
+  /// pays for serving a model bigger than its memory budget, and the
+  /// baseline the pipeline-parallel sharding bench compares against.
   InferenceSession(const graph::Graph& graph, Schedule schedule,
                    simgpu::Device& device,
-                   simgpu::Precision precision = simgpu::Precision::kFp32);
+                   simgpu::Precision precision = simgpu::Precision::kFp32,
+                   bool allow_weight_paging = false);
 
   /// Load library, allocate weights and activation workspace, create the
   /// streams the widest stage needs. Idempotent.
@@ -52,14 +61,21 @@ class InferenceSession {
   const Schedule& schedule() const { return schedule_; }
   simgpu::Precision precision() const { return precision_; }
 
+  /// Weight bytes streamed from the host on every run because they did not
+  /// fit on-device (0 when the model is fully resident; only ever non-zero
+  /// after initialize() with allow_weight_paging).
+  std::int64_t paged_weight_bytes() const { return paged_weight_bytes_; }
+
  private:
   const graph::Graph& graph_;
   Schedule schedule_;
   simgpu::Device& device_;
   simgpu::Precision precision_ = simgpu::Precision::kFp32;
+  bool allow_weight_paging_ = false;
   std::vector<simgpu::KernelDesc> kernel_table_;
   std::int64_t input_bytes_per_sample_ = 0;
   std::int64_t output_bytes_per_sample_ = 0;
+  std::int64_t paged_weight_bytes_ = 0;
   bool initialized_ = false;
 };
 
@@ -84,6 +100,10 @@ struct ResilientOptions {
   double sync_timeout = 0.0;
   /// Seed for backoff jitter (only drawn when retry.jitter > 0).
   std::uint64_t backoff_seed = 0x5eed;
+  /// Stream non-resident weights over PCIe per run instead of failing
+  /// initialization when the model exceeds the device's memory budget (see
+  /// InferenceSession).
+  bool allow_weight_paging = false;
 };
 
 /// Degradation statistics a resilient session accumulates across runs.
@@ -131,6 +151,9 @@ class ResilientSession {
   const SessionStats& stats() const { return stats_; }
   const ResilientOptions& options() const { return options_; }
   simgpu::Precision precision() const { return session_.precision(); }
+  std::int64_t paged_weight_bytes() const {
+    return session_.paged_weight_bytes();
+  }
 
  private:
   void recover(const std::exception& error, int retry);

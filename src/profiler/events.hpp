@@ -96,4 +96,14 @@ struct InstantEvent {
   std::string detail;
 };
 
+/// A timed span on a named lane. Unlike the fixed-tid API/kernel/memop
+/// rows, lane spans open a dedicated chrome-trace row per distinct `lane`
+/// (in first-seen order), which is how the pipeline executor renders one
+/// row per stage: microbatch service spans line up under their stage, and
+/// the gaps between them are the pipeline bubbles, visible at a glance.
+struct LaneSpan : Span {
+  std::string lane;
+  std::string detail;
+};
+
 }  // namespace dcn::profiler

@@ -127,6 +127,20 @@ void Recorder::record_instant(std::string name, double time,
   instant_events_.push_back(std::move(event));
 }
 
+void Recorder::record_lane_span(std::string lane, std::string name,
+                                double start, double duration,
+                                std::string detail) {
+  if (!enabled_) return;
+  DCN_DCHECK(duration >= 0.0) << "negative lane-span duration";
+  LaneSpan span;
+  span.lane = std::move(lane);
+  span.name = std::move(name);
+  span.start = start;
+  span.duration = duration;
+  span.detail = std::move(detail);
+  lane_spans_.push_back(std::move(span));
+}
+
 void Recorder::clear() {
   api_spans_.clear();
   kernel_spans_.clear();
@@ -134,6 +148,7 @@ void Recorder::clear() {
   fault_spans_.clear();
   counter_samples_.clear();
   instant_events_.clear();
+  lane_spans_.clear();
 }
 
 }  // namespace dcn::profiler

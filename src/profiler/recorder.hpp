@@ -23,6 +23,10 @@ class Recorder {
   void record_counter_sample(std::string name, double time,
                              std::int64_t value);
   void record_instant(std::string name, double time, std::string detail);
+  /// Record a span on a named lane (each distinct lane becomes its own
+  /// chrome-trace row; see LaneSpan).
+  void record_lane_span(std::string lane, std::string name, double start,
+                        double duration, std::string detail);
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
@@ -41,6 +45,7 @@ class Recorder {
   const std::vector<InstantEvent>& instant_events() const {
     return instant_events_;
   }
+  const std::vector<LaneSpan>& lane_spans() const { return lane_spans_; }
 
  private:
   bool enabled_ = true;
@@ -50,6 +55,7 @@ class Recorder {
   std::vector<FaultSpan> fault_spans_;
   std::vector<CounterSample> counter_samples_;
   std::vector<InstantEvent> instant_events_;
+  std::vector<LaneSpan> lane_spans_;
 };
 
 }  // namespace dcn::profiler

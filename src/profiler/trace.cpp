@@ -1,6 +1,7 @@
 #include "profiler/trace.hpp"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "core/error.hpp"
@@ -69,6 +70,29 @@ std::string to_chrome_trace(const Recorder& recorder) {
   for (const FaultSpan& span : recorder.fault_spans()) {
     emit_event(os, first, span.name, "fault", 3, span.start, span.duration,
                "{\"detail\": \"" + json_escape(span.detail) + "\"}");
+  }
+  // Named lanes (one chrome-trace row per distinct lane, in first-seen
+  // order): the pipeline executor's per-stage microbatch spans. The thread
+  // name metadata labels each row with its lane string, and the tid block
+  // starts at 10 to stay clear of the fixed api/kernel/memop/fault rows.
+  {
+    std::map<std::string, int> lane_tids;
+    for (const LaneSpan& span : recorder.lane_spans()) {
+      const auto [it, inserted] = lane_tids.emplace(
+          span.lane, 10 + static_cast<int>(lane_tids.size()));
+      if (inserted) {
+        if (!first) os << ",\n";
+        first = false;
+        os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           << "\"tid\": " << it->second << ", \"args\": {\"name\": \""
+           << json_escape(span.lane) << "\"}}";
+      }
+      emit_event(os, first, span.name, "lane", it->second, span.start,
+                 span.duration,
+                 span.detail.empty()
+                     ? std::string()
+                     : "{\"detail\": \"" + json_escape(span.detail) + "\"}");
+    }
   }
   // Timestamped counter samples (serving queue depth, batch sizes) as
   // Chrome counter ("C") tracks that evolve over the run.

@@ -30,8 +30,8 @@ const char* request_status_name(RequestStatus status) {
 }
 
 struct Server::Replica {
-  std::unique_ptr<simgpu::Device> device;
-  std::unique_ptr<ios::ResilientSession> session;
+  /// The dispatchable unit: a whole-model replica or a pipeline group.
+  std::unique_ptr<Backend> backend;
   simgpu::Precision precision = simgpu::Precision::kFp32;
   double free_at = 0.0;
   /// Fleet-level chaos plan (replica deaths + straggler windows); the
@@ -65,13 +65,22 @@ struct Server::Replica {
 
 Server::Server(const graph::Graph& graph, ios::Schedule schedule,
                ServerConfig config, profiler::Recorder* recorder)
+    : Server(graph, std::move(schedule), std::move(config), recorder, {}) {}
+
+Server::Server(const graph::Graph& graph, ios::Schedule schedule,
+               ServerConfig config, profiler::Recorder* recorder,
+               std::vector<std::unique_ptr<Backend>> extra)
     : graph_(graph),
       schedule_(std::move(schedule)),
       config_(std::move(config)),
       recorder_(recorder) {
-  if (config_.replicas < 1) {
-    throw ConfigError("Server: replicas must be >= 1, got " +
-                      std::to_string(config_.replicas));
+  const int fleet_size =
+      config_.replicas + static_cast<int>(extra.size());
+  if (config_.replicas < 0 || fleet_size < 1) {
+    throw ConfigError("Server: fleet must have >= 1 entry, got " +
+                      std::to_string(config_.replicas) +
+                      " replicas + " + std::to_string(extra.size()) +
+                      " extra backends");
   }
   if (!config_.replica_precisions.empty() &&
       config_.replica_precisions.size() !=
@@ -82,32 +91,32 @@ Server::Server(const graph::Graph& graph, ios::Schedule schedule,
         " entries for " + std::to_string(config_.replicas) + " replicas");
   }
   monitor_ =
-      std::make_unique<HealthMonitor>(config_.replicas, config_.fleet.health);
+      std::make_unique<HealthMonitor>(fleet_size, config_.fleet.health);
+  // Chaos victims draw over the whole fleet: a death landing on an extra
+  // backend (a pipeline group) takes down that one group, not the fleet.
   std::vector<simgpu::FaultPlan> chaos_plans;
   if (!config_.fleet.chaos.empty()) {
-    chaos_plans = materialize_chaos(config_.fleet.chaos, config_.replicas);
+    chaos_plans = materialize_chaos(config_.fleet.chaos, fleet_size);
   }
-  replicas_.reserve(static_cast<std::size_t>(config_.replicas));
-  for (int r = 0; r < config_.replicas; ++r) {
-    const simgpu::Precision precision =
-        config_.replica_precisions.empty()
-            ? config_.precision
-            : config_.replica_precisions[static_cast<std::size_t>(r)];
+  replicas_.reserve(static_cast<std::size_t>(fleet_size));
+  for (int r = 0; r < fleet_size; ++r) {
     auto replica = std::make_unique<Replica>();
-    replica->precision = precision;
-    replica->device =
-        std::make_unique<simgpu::Device>(config_.device, recorder_);
-    replica->session = std::make_unique<ios::ResilientSession>(
-        graph_, schedule_, *replica->device, config_.resilient, precision);
-    replica->session->initialize();
-    // The one-time library load + weight upload happen *before* the trace
-    // timeline: serve() starts from a warm fleet, as documented. Without
-    // this reset the init cost lands at t = 0 and every early request
-    // queues behind it — invisible under a streamed trace, but it
-    // dominates an offline drain (the scan cascade's regime). Respawns
-    // still pay re-initialization mid-timeline, where it belongs.
-    replica->device->reset_clocks();
-    replica->free_at = replica->device->host_time();
+    if (r < config_.replicas) {
+      const simgpu::Precision precision =
+          config_.replica_precisions.empty()
+              ? config_.precision
+              : config_.replica_precisions[static_cast<std::size_t>(r)];
+      replica->precision = precision;
+      replica->backend = std::make_unique<WholeModelBackend>(
+          graph_, schedule_, config_.device, config_.resilient, precision,
+          recorder_);
+    } else {
+      replica->backend =
+          std::move(extra[static_cast<std::size_t>(r - config_.replicas)]);
+      DCN_CHECK(replica->backend != nullptr) << "null extra backend";
+      replica->precision = replica->backend->precision();
+    }
+    replica->free_at = 0.0;
     if (!chaos_plans.empty()) {
       replica->chaos = chaos_plans[static_cast<std::size_t>(r)];
       for (const simgpu::FaultRule& rule : replica->chaos.rules) {
@@ -142,9 +151,14 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
   HealthMonitor& monitor = *monitor_;
   const HealthPolicy& health = config_.fleet.health;
 
+  const int fleet_size = static_cast<int>(replicas_.size());
+
   ServingReport report;
   report.pool = config_.pool;
-  report.replicas = config_.replicas;
+  report.replicas = fleet_size;
+  for (const auto& replica : replicas_) {
+    report.devices += replica->backend->device_count();
+  }
   report.offered = static_cast<std::int64_t>(trace.size());
 
   // Per-pool counter namespace: an empty pool keeps the classic "serve.*"
@@ -255,7 +269,7 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
   const auto pick_replica = [&](double t, int exclude) -> int {
     int best = -1;
     std::array<double, 4> best_key{};
-    for (int r = 0; r < config_.replicas; ++r) {
+    for (int r = 0; r < fleet_size; ++r) {
       if (r == exclude) continue;
       const Replica& rep = *replicas_[static_cast<std::size_t>(r)];
       if (!monitor.alive(r)) continue;
@@ -285,6 +299,9 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
     bool crashed = false;
     double crash_time = 0.0;
     double end = 0.0;
+    /// When the backend can take its next dispatch (== end for whole-model
+    /// replicas; stage-0 drain for pipeline groups).
+    double ready = 0.0;
   };
 
   // Run one dispatch synchronously on the virtual clock. The whole outcome
@@ -306,24 +323,21 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
             : mix_seed(mix_seed(static_cast<std::uint64_t>(batch_index),
                                 static_cast<std::uint64_t>(attempt)),
                        channel);
-    if (!config_.faults.empty()) {
-      simgpu::FaultPlan plan = config_.faults;
-      plan.seed = mix_seed(plan.seed, salt);
-      rep.device->set_fault_plan(plan);
-    }
-    rep.session->reseed_backoff(
-        mix_seed(config_.resilient.backoff_seed, salt));
-    // Sync the replica's private timeline to the dispatch instant, then
-    // run; the host-clock delta is the raw service time, recovery included.
-    rep.device->advance_host(start - rep.device->host_time());
-    const auto result = rep.session->try_run(batch_size);
-    const double raw_end = rep.device->host_time();
+    rep.backend->arm_faults(config_.faults, salt);
+    rep.backend->reseed_backoff(config_.resilient.backoff_seed, salt);
+    const BackendOutcome raw = rep.backend->serve_batch(start, batch_size);
     // Straggler windows scale the whole service (retries included); the
     // factor is sampled at dispatch so the outcome resolves synchronously.
+    // The factor == 1 case must return raw.end exactly: rounding
+    // start + (raw.end - start) can land one ULP below the backend's
+    // device clock, and the next dispatch at free_at would then ask the
+    // device for a negative sleep.
     const double factor = rep.chaos.straggler_factor(start);
     ServiceOutcome out;
-    out.end = start + (raw_end - start) * factor;
-    out.ok = result.has_value();
+    out.end = factor == 1.0 ? raw.end : start + (raw.end - start) * factor;
+    out.ready =
+        factor == 1.0 ? raw.ready : start + (raw.ready - start) * factor;
+    out.ok = raw.ok;
     // A crash landing inside the service window overrides the result: the
     // replica dies mid-flight and the batch is lost with it.
     if (rep.death_fires != 0 && rep.next_death > start &&
@@ -351,9 +365,20 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
         run_on_replica(primary, start, batch_index, attempt, 0, batch_size);
     ++dispatched_batches;
     served_requests += batch_size;
-    report.busy_seconds +=
+    const double primary_busy =
         (primary_out.crashed ? primary_out.crash_time : primary_out.end) -
         start;
+    report.busy_seconds += primary_busy;
+    // Device cost charges the reservation window (start -> ready for the
+    // next dispatch) per owned device: a whole-model replica is reserved
+    // for the full service, a pipeline group only until its first stage
+    // frees (the drain overlaps the next batch's fill).
+    const double primary_reserved =
+        (primary_out.crashed ? primary_out.crash_time : primary_out.ready) -
+        start;
+    report.device_seconds +=
+        primary_reserved *
+        replicas_[static_cast<std::size_t>(primary)]->backend->device_count();
     if (recorder_ != nullptr) {
       recorder_->record_counter_sample(prefix + "batch_size", start,
                                        batch_size);
@@ -373,7 +398,7 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
       redispatch.push_back(std::move(pending));
       return;
     }
-    replicas_[static_cast<std::size_t>(primary)]->free_at = primary_out.end;
+    replicas_[static_cast<std::size_t>(primary)]->free_at = primary_out.ready;
 
     // Hedge decision uses the delay derived from *prior* observations only
     // (mid-flight, the server knows elapsed time, not the final service).
@@ -408,9 +433,16 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
                            " hedged on replica " + std::to_string(mate));
         const ServiceOutcome hedge_out = run_on_replica(
             mate, hedge_start, batch_index, attempt, 1, batch_size);
-        report.busy_seconds +=
+        const double hedge_busy =
             (hedge_out.crashed ? hedge_out.crash_time : hedge_out.end) -
             hedge_start;
+        report.busy_seconds += hedge_busy;
+        const double hedge_reserved =
+            (hedge_out.crashed ? hedge_out.crash_time : hedge_out.ready) -
+            hedge_start;
+        report.device_seconds +=
+            hedge_reserved *
+            replicas_[static_cast<std::size_t>(mate)]->backend->device_count();
         if (hedge_out.crashed) {
           // The hedge replica died mid-race; the primary outcome stands,
           // so nothing is re-dispatched.
@@ -418,7 +450,7 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
                        "crash during hedge of batch " +
                            std::to_string(batch_index));
         } else {
-          replicas_[static_cast<std::size_t>(mate)]->free_at = hedge_out.end;
+          replicas_[static_cast<std::size_t>(mate)]->free_at = hedge_out.ready;
           if (hedge_out.ok) {
             monitor.observe_success(mate, hedge_out.end,
                                     hedge_out.end - hedge_start);
@@ -482,7 +514,7 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
     double fleet_free = inf;
     bool any_alive = false;
     bool any_respawn = false;
-    for (int r = 0; r < config_.replicas; ++r) {
+    for (int r = 0; r < fleet_size; ++r) {
       const Replica& rep = *replicas_[static_cast<std::size_t>(r)];
       if (monitor.alive(r)) {
         any_alive = true;
@@ -583,14 +615,9 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
           drain_transitions();
         }
       } else {
-        // Restart succeeds: fresh device (reset clocks synced to the fleet
-        // timeline), full re-initialization; the replica rejoins once the
-        // library load + weight upload costs are paid.
-        rep.device->reset_clocks();
-        rep.device->advance_host(now);
-        rep.device->set_fault_plan(simgpu::FaultPlan{});
-        rep.session->hard_restart();
-        rep.free_at = rep.device->host_time();
+        // Restart succeeds: the backend hard-resets every owned device and
+        // re-initializes; it rejoins once the restart cost is paid.
+        rep.free_at = rep.backend->restart(now);
         rep.arm_next_death(now);
         monitor.mark_respawned(respawn_replica, now);
         ++report.respawns;
@@ -711,8 +738,9 @@ ServingReport Server::serve(const std::vector<Request>& trace) {
         static_cast<double>(report.completed) / report.makespan;
   }
   for (const auto& replica : replicas_) {
-    report.transient_retries += replica->session->stats().transient_retries;
-    report.reinitializations += replica->session->stats().reinitializations;
+    const ios::SessionStats stats = replica->backend->stats();
+    report.transient_retries += stats.transient_retries;
+    report.reinitializations += stats.reinitializations;
   }
   report.replicas_lost = monitor.dead_count();
   report.shed_degrade_entries = shedder.degrade_entries();
@@ -780,6 +808,11 @@ std::string ServingReport::to_string() const {
   latency_table.add_row({"occupancy", format_percent(occupancy()) + " of " +
                                           std::to_string(replicas) +
                                           " replica(s)"});
+  latency_table.add_row({"devices", std::to_string(devices)});
+  latency_table.add_row({"device-seconds", format_double(device_seconds, 3)});
+  latency_table.add_row({"cost per request",
+                         format_double(cost_per_request() * 1e3, 4) +
+                             " device-ms"});
   os << latency_table.to_string();
 
   if (slo_tracked > 0) {

@@ -51,6 +51,7 @@
 
 #include "ios/executor.hpp"
 #include "profiler/recorder.hpp"
+#include "serve/backend.hpp"
 #include "serve/batcher.hpp"
 #include "serve/chaos.hpp"
 #include "serve/health.hpp"
@@ -118,8 +119,12 @@ struct FleetOptions {
 struct ServingReport {
   /// Pool label this server ran under (ServerConfig::pool; may be empty).
   std::string pool;
-  /// Fleet size the occupancy denominator uses.
+  /// Fleet size the occupancy denominator uses (dispatchable entries:
+  /// whole-model replicas + pipeline groups).
   int replicas = 0;
+  /// Simulated devices across the fleet (a pipeline group counts its K
+  /// stage devices) — the cost-per-request denominator.
+  int devices = 0;
   std::int64_t offered = 0;
   std::int64_t admitted = 0;
   std::int64_t rejected = 0;
@@ -149,6 +154,12 @@ struct ServingReport {
   /// Replica-seconds spent serving (primary + hedge dispatches; a crashed
   /// dispatch is busy until the crash instant).
   double busy_seconds = 0.0;
+  /// Device-seconds reserved for serving: each dispatch charges its
+  /// backend's reservation window (dispatch -> ready for the next batch)
+  /// times the backend's device count. For an all-whole-model fleet this
+  /// equals busy_seconds; a pipeline group's drain overlaps the next
+  /// batch, so only the stage-0 window is charged across its K devices.
+  double device_seconds = 0.0;
 
   /// Recovery work summed over replicas.
   int transient_retries = 0;
@@ -204,6 +215,15 @@ struct ServingReport {
            makespan;
   }
 
+  /// Fleet cost of one accepted request, in device-seconds — the
+  /// datacenter bill divided by useful work. Lower is better; a pipeline
+  /// fleet wins this metric only when its bubble + transfer overheads stay
+  /// below what whole-model replicas lose to paging/memory pressure.
+  double cost_per_request() const {
+    return completed == 0 ? 0.0
+                          : device_seconds / static_cast<double>(completed);
+  }
+
   /// Human-readable metrics block (the serving analog of render_report).
   std::string to_string() const;
 };
@@ -218,7 +238,8 @@ struct ServerConfig {
   BatchPolicy batch;
   /// Admission-queue bound (reject-on-full).
   std::size_t queue_capacity = 64;
-  /// Model replicas, each with a private device + resilient session.
+  /// Whole-model replicas, each with a private device + resilient session.
+  /// May be 0 only when extra backends are supplied (mixed/pipeline fleet).
   int replicas = 1;
   /// Precision every replica serves at (unless overridden per replica).
   simgpu::Precision precision = simgpu::Precision::kFp32;
@@ -243,6 +264,17 @@ class Server {
   /// replicas < 1 or an inconsistent fleet configuration.
   Server(const graph::Graph& graph, ios::Schedule schedule,
          ServerConfig config, profiler::Recorder* recorder = nullptr);
+
+  /// Mixed fleet: `config.replicas` whole-model replicas built as above,
+  /// plus `extra` pre-built backends (e.g. shard::PipelineGroup) appended
+  /// after them, in order. Fleet entry indices — chaos victim draws,
+  /// health transitions, dispatch preference ties — run over the combined
+  /// list, whole-model entries first. `config.replicas` may be 0 when
+  /// `extra` is non-empty (a pipeline-only fleet); replica_precisions, if
+  /// set, still sizes against config.replicas only.
+  Server(const graph::Graph& graph, ios::Schedule schedule,
+         ServerConfig config, profiler::Recorder* recorder,
+         std::vector<std::unique_ptr<Backend>> extra);
   ~Server();
 
   Server(const Server&) = delete;

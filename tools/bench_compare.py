@@ -17,15 +17,20 @@ possibly with one level of nesting). Metrics are classified by key name:
   * ``reject_rate``                 lower is better, absolute tolerance 0.02
   * ``slo_attainment``              higher is better, absolute tolerance 0.02
   * ``availability``                higher is better, absolute tolerance 0.02
+  * ``bubble_fraction``             lower is better, absolute tolerance 0.02
   * ``*_ap``                        higher is better, absolute tolerance 0.02
   * ``ap_drop_points``              lower is better, absolute tolerance 2.0
   * ``ap_delta_points``             lower is better, absolute tolerance 1.0
   * anything else                   informational (config echo, counts)
 
+(``throughput_ratio`` — the pipeline-vs-replica gate — matches the
+``*throughput*`` rule: higher is better, relative tolerance.)
+
 The default relative tolerance is 2%: a latency increase or throughput drop
-beyond it fails the gate (exit 1). Improvements never fail. A metric present
-in the baseline but missing from the current run is a regression — a bench
-that silently stops reporting a number must not pass. The markdown report
+beyond it fails the gate (exit 1). Improvements never fail. ANY key present
+in the baseline but missing from the current run — numeric metric or config
+echo alike — is a hard failure named in the FAIL line: a bench that
+silently stops reporting a number must not pass. The markdown report
 (written with --report, printed to stdout either way) is uploaded as a CI
 artifact so regressions are diagnosable from the run page.
 
@@ -43,6 +48,9 @@ import sys
 ABS_TOLERANCES = {
     "reject_rate": 0.02,
     "slo_attainment": 0.02,
+    # Pipeline idle share: a small absolute creep is schedule noise, more
+    # means the partition balance or the wavefront regressed.
+    "bubble_fraction": 0.02,
     "ap_drop_points": 2.0,
     # The cascade's accuracy budget: the bench asserts <= 1.0 AP-point
     # drop itself, and the gate holds the committed baseline to the same
@@ -62,6 +70,8 @@ def classify(key):
         return -1, "absolute"
     if leaf in ("slo_attainment", "availability"):
         return +1, "absolute"
+    if leaf == "bubble_fraction":
+        return -1, "absolute"
     if leaf.endswith("_ap"):
         return +1, "absolute"
     if "recovery" in leaf:
@@ -95,13 +105,15 @@ def compare(baseline, current, rel_tolerance):
     rows = []
     for key, base in sorted(baseline.items()):
         direction, kind = classify(key)
-        cur = current.get(key)
+        if key not in current:
+            # Hard failure regardless of type: a key the baseline reports
+            # must not silently vanish from a fresh run.
+            rows.append((key, base, None, "", "missing"))
+            continue
+        cur = current[key]
         if not isinstance(base, (int, float)) or isinstance(base, bool):
             status = "ok" if cur == base else "changed"
             rows.append((key, base, cur, "", status))
-            continue
-        if cur is None:
-            rows.append((key, base, None, "", "missing"))
             continue
         delta = cur - base
         if kind == "info" or direction == 0:
@@ -144,11 +156,21 @@ def render(rows, baseline_path, current_path):
                 "ok": "ok", "info": "info", "new": "new"}[status]
         lines.append(
             f"| {key} | {fmt(base)} | {fmt(cur)} | {delta} | {mark} |")
-    failures = sum(1 for r in rows if r[4] in ("REGRESSION", "missing"))
+    failed = [r for r in rows if r[4] in ("REGRESSION", "missing")]
     lines.append("")
-    lines.append("**FAIL**: {} regressed metric(s)".format(failures)
-                 if failures else "**PASS**: no regressions")
-    return "\n".join(lines) + "\n", failures
+    if failed:
+        regressed = [r[0] for r in failed if r[4] == "REGRESSION"]
+        missing = [r[0] for r in failed if r[4] == "missing"]
+        parts = []
+        if regressed:
+            parts.append("regressed: " + ", ".join(regressed))
+        if missing:
+            parts.append("missing from current run: " + ", ".join(missing))
+        lines.append("**FAIL**: {} metric(s) — {}".format(
+            len(failed), "; ".join(parts)))
+    else:
+        lines.append("**PASS**: no regressions")
+    return "\n".join(lines) + "\n", len(failed)
 
 
 def main(argv):
